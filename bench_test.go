@@ -1,0 +1,228 @@
+package repro_test
+
+// One benchmark per table and figure of the paper (DESIGN.md carries
+// the index). Figure benchmarks run scaled-down sweeps (thinned token
+// grids, single seed) so `go test -bench=. -benchmem` finishes in
+// minutes while still exercising the full pipeline; cmd/dsbench runs
+// the full-resolution versions.
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/tokenbucket"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/video"
+	"repro/internal/vqm"
+)
+
+// --- Tables ---
+
+func BenchmarkTable1FrameRelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		var sink packet.Sink
+		l := link.NewFrameRelay(s, link.Table1()[0], units.Millisecond, queue.NewEFPriority(100, 100), &sink)
+		for j := 0; j < 1000; j++ {
+			j := j
+			s.At(units.Time(j)*6*units.Millisecond, func() {
+				l.Handle(&packet.Packet{ID: uint64(j), Size: 1500, DSCP: packet.EF})
+			})
+		}
+		s.Run()
+		if sink.Count != 1000 {
+			b.Fatalf("delivered %d", sink.Count)
+		}
+	}
+}
+
+func BenchmarkTable2MPEGProperties(b *testing.B) {
+	clip := video.Lost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := video.Table2(clip)
+		if len(rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable3WMVProperties(b *testing.B) {
+	lost, dark := video.Lost(), video.Dark()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = video.Table3(lost)
+		_ = video.Table3(dark)
+	}
+}
+
+func BenchmarkTable4Configurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiment.Table4() == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure6TransmissionRates(b *testing.B) {
+	clip := video.Lost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Figure6(clip, 30)
+	}
+}
+
+func benchQBone(b *testing.B, spec experiment.QBoneSpec) {
+	b.Helper()
+	spec.Tokens = experiment.Scale(spec.Tokens, 5)
+	spec.Runs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := spec.Run()
+		if len(fig.Series) != 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure7QBoneLost17(b *testing.B)  { benchQBone(b, experiment.Figure7Spec()) }
+func BenchmarkFigure8QBoneLost15(b *testing.B)  { benchQBone(b, experiment.Figure8Spec()) }
+func BenchmarkFigure9QBoneLost10(b *testing.B)  { benchQBone(b, experiment.Figure9Spec()) }
+func BenchmarkFigure10QBoneDark17(b *testing.B) { benchQBone(b, experiment.Figure10Spec()) }
+func BenchmarkFigure11QBoneDark15(b *testing.B) { benchQBone(b, experiment.Figure11Spec()) }
+func BenchmarkFigure12QBoneDark10(b *testing.B) { benchQBone(b, experiment.Figure12Spec()) }
+
+func benchRelative(b *testing.B, spec experiment.RelativeSpec) {
+	b.Helper()
+	spec.Tokens = experiment.Scale(spec.Tokens, 5)
+	spec.Runs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := spec.Run()
+		if len(fig.Series) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure13DarkRelative(b *testing.B) { benchRelative(b, experiment.Figure13Spec()) }
+func BenchmarkFigure14LostRelative(b *testing.B) { benchRelative(b, experiment.Figure14Spec()) }
+
+func benchLocal(b *testing.B, spec experiment.LocalSpec) {
+	b.Helper()
+	spec.Tokens = experiment.Scale(spec.Tokens, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := spec.Run()
+		if len(fig.Series) != 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure15LocalDrop(b *testing.B)   { benchLocal(b, experiment.Figure15Spec()) }
+func BenchmarkFigure16LocalShaped(b *testing.B) { benchLocal(b, experiment.Figure16Spec()) }
+
+// --- Ablations called out in DESIGN.md ---
+
+func BenchmarkAblationShaperVsDropper(b *testing.B) {
+	enc := video.EncodeCBR(video.Lost(), 1.7e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.RunQBonePoint(enc, enc, 1.75e6, 3000, experiment.DefaultSeed, 0)
+	}
+}
+
+func BenchmarkAblationHopCount(b *testing.B) {
+	// Multi-hop EF burst accumulation: same profile, more hops.
+	enc := video.EncodeCBR(video.Lost(), 1.0e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.RunQBonePoint(enc, enc, 1.1e6, 4500, experiment.DefaultSeed, 0.02)
+	}
+}
+
+// --- Micro-benchmarks for the hot substrate paths ---
+
+func BenchmarkTokenBucketConform(b *testing.B) {
+	tb := tokenbucket.NewBucket(2*units.Mbps, 3000)
+	now := units.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 6 * units.Millisecond
+		tb.Conform(now, 1500)
+	}
+}
+
+func BenchmarkSRTCMMark(b *testing.B) {
+	m := tokenbucket.NewSRTCM(2*units.Mbps, 3000, 6000)
+	now := units.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2 * units.Millisecond
+		m.Mark(now, 1500)
+	}
+}
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	s := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(units.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Run()
+}
+
+func BenchmarkEncodeCBR(b *testing.B) {
+	clip := video.Lost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = video.EncodeCBR(clip, 1.5e6)
+	}
+}
+
+func BenchmarkVQMScore(b *testing.B) {
+	enc := video.EncodeCBR(video.Lost(), 1.7e6)
+	tr := &trace.Trace{ClipFrames: enc.Clip.FrameCount()}
+	iv := video.FrameInterval()
+	for i := 0; i < enc.Clip.FrameCount(); i++ {
+		if i%97 == 0 {
+			continue // sprinkle losses so scoring does real work
+		}
+		at := units.Time(int64(i)) * iv
+		tr.Add(trace.FrameRecord{Seq: i, Arrival: at, Presentation: at, Frags: 1})
+	}
+	d := render.Conceal(tr, render.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vqm.ScoreSame(d, enc, vqm.Options{})
+	}
+}
+
+func BenchmarkConceal(b *testing.B) {
+	enc := video.EncodeCBR(video.Lost(), 1.7e6)
+	tr := &trace.Trace{ClipFrames: enc.Clip.FrameCount()}
+	iv := video.FrameInterval()
+	for i := 0; i < enc.Clip.FrameCount(); i++ {
+		at := units.Time(int64(i)) * iv
+		tr.Add(trace.FrameRecord{Seq: i, Arrival: at, Presentation: at, Frags: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = render.Conceal(tr, render.DefaultOptions())
+	}
+}

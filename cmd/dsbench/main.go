@@ -1,0 +1,187 @@
+// Command dsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dsbench -list
+//	dsbench -run all
+//	dsbench -run fig7,fig15,table2
+//	dsbench -scale 4          # thin token sweeps for a quick pass
+//
+// Output is plain text, one block per artifact, in the same layout the
+// paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/link"
+	"repro/internal/video"
+)
+
+type artifact struct {
+	name string
+	desc string
+	run  func(scale int) string
+}
+
+// plotMode is set by the -plot flag: render figures as ASCII charts
+// in addition to the numeric tables.
+var plotMode bool
+
+func render(f *experiment.Figure) string {
+	out := f.Format()
+	if plotMode {
+		out += "\n" + f.Plot(64, 16, false)
+	}
+	return out
+}
+
+func qbone(spec func() experiment.QBoneSpec) func(int) string {
+	return func(scale int) string {
+		s := spec()
+		s.Tokens = experiment.Scale(s.Tokens, scale)
+		return render(s.Run())
+	}
+}
+
+func relative(spec func() experiment.RelativeSpec) func(int) string {
+	return func(scale int) string {
+		s := spec()
+		s.Tokens = experiment.Scale(s.Tokens, scale)
+		return render(s.Run())
+	}
+}
+
+func local(spec func() experiment.LocalSpec) func(int) string {
+	return func(scale int) string {
+		s := spec()
+		s.Tokens = experiment.Scale(s.Tokens, scale)
+		return render(s.Run())
+	}
+}
+
+func artifacts() []artifact {
+	return []artifact{
+		{"table1", "Frame Relay interface configuration", func(int) string {
+			var b strings.Builder
+			b.WriteString("Table 1 — Frame Relay interface configuration\n")
+			fmt.Fprintf(&b, "%-14s %-10s %-10s %-6s %-6s\n", "Interface", "CIR", "Bc", "Be", "Type")
+			for _, r := range videoTable1() {
+				fmt.Fprintf(&b, "%-14s %-10.0f %-10d %-6d %-6s\n", r.name, r.cir, r.bc, r.be, r.kind)
+			}
+			return b.String()
+		}},
+		{"table2", "MPEG encoding properties of Lost and Dark", func(int) string {
+			return video.FormatTable2("Lost", video.Table2(video.Lost())) + "\n" +
+				video.FormatTable2("Dark", video.Table2(video.Dark()))
+		}},
+		{"table3", "Windows Media encoded clip properties", func(int) string {
+			return video.FormatTable3([]video.WMVRow{
+				video.Table3(video.Lost()), video.Table3(video.Dark()),
+			})
+		}},
+		{"table4", "Summary of experimental configurations", func(int) string {
+			return experiment.Table4()
+		}},
+		{"fig6", "Instantaneous transmission rates of the MPEG clips", func(scale int) string {
+			every := 31 * scale
+			return experiment.Figure6(video.Lost(), every) + "\n" + experiment.Figure6(video.Dark(), every)
+		}},
+		{"fig7", "QBone, Lost @ 1.7M", qbone(experiment.Figure7Spec)},
+		{"fig8", "QBone, Lost @ 1.5M", qbone(experiment.Figure8Spec)},
+		{"fig9", "QBone, Lost @ 1.0M", qbone(experiment.Figure9Spec)},
+		{"fig10", "QBone, Dark @ 1.7M", qbone(experiment.Figure10Spec)},
+		{"fig11", "QBone, Dark @ 1.5M", qbone(experiment.Figure11Spec)},
+		{"fig12", "QBone, Dark @ 1.0M", qbone(experiment.Figure12Spec)},
+		{"fig13", "Dark relative quality vs 1.7M reference", relative(experiment.Figure13Spec)},
+		{"fig14", "Lost relative quality vs 1.7M reference", relative(experiment.Figure14Spec)},
+		{"fig15", "Local testbed, drop policing", local(experiment.Figure15Spec)},
+		{"fig16", "Local testbed, shaper + drop policing", local(experiment.Figure16Spec)},
+		{"abl-shape", "Ablation: drop vs shape at the QBone border", func(int) string {
+			return experiment.AblationShaperVsDrop(experiment.DefaultSeed).Format()
+		}},
+		{"abl-hops", "Ablation: EF burst accumulation over hop count", func(int) string {
+			return experiment.AblationHopCount(experiment.DefaultSeed)
+		}},
+		{"abl-jitter", "Ablation: pre-policer jitter vs conformance", func(int) string {
+			return experiment.AblationJitter(experiment.DefaultSeed)
+		}},
+		{"abl-af", "Ablation: Assured Forwarding (srTCM + RIO)", func(int) string {
+			return experiment.FormatAF(experiment.AblationAF(experiment.DefaultSeed))
+		}},
+		{"abl-tcp", "Ablation: local TCP, era stack vs RFC 3042", func(int) string {
+			return experiment.AblationLocalTCP(experiment.DefaultSeed)
+		}},
+		{"ef-service", "EF delay/jitter/loss vs cross load", func(int) string {
+			return experiment.EFServiceReport(experiment.DefaultSeed)
+		}},
+	}
+}
+
+type frRow struct {
+	name string
+	cir  float64
+	bc   int64
+	be   int64
+	kind string
+}
+
+func videoTable1() []frRow {
+	var rows []frRow
+	for _, c := range link.Table1() {
+		rows = append(rows, frRow{c.Name, float64(c.CIR), c.Bc, c.Be, c.Kind})
+	}
+	return rows
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available artifacts")
+	run := flag.String("run", "all", "comma-separated artifact names, or 'all'")
+	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
+	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	flag.Parse()
+	plotMode = *plot
+
+	all := artifacts()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-8s %s\n", a.name, a.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var known []string
+		for _, a := range all {
+			known = append(known, a.name)
+		}
+		sort.Strings(known)
+		for n := range want {
+			found := false
+			for _, k := range known {
+				if k == n {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown artifact %q (known: %s)\n", n, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+	for _, a := range all {
+		if *run != "all" && !want[a.name] {
+			continue
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println(a.run(*scale))
+	}
+}

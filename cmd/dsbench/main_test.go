@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestArtifactRegistry(t *testing.T) {
+	all := artifacts()
+	if len(all) < 15 {
+		t.Fatalf("only %d artifacts registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.name == "" || a.desc == "" || a.run == nil {
+			t.Errorf("malformed artifact %+v", a)
+		}
+		if seen[a.name] {
+			t.Errorf("duplicate artifact name %q", a.name)
+		}
+		seen[a.name] = true
+	}
+	// Every paper artifact must be present.
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16",
+	} {
+		if !seen[want] {
+			t.Errorf("missing paper artifact %q", want)
+		}
+	}
+}
+
+func TestStaticArtifactsRender(t *testing.T) {
+	for _, a := range artifacts() {
+		switch a.name {
+		case "table1", "table2", "table3", "table4":
+			if out := a.run(1); len(out) < 40 {
+				t.Errorf("%s output suspiciously short: %q", a.name, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command dsstream runs a single streaming experiment and prints the
+// network- and application-level outcome, optionally saving the raw
+// frame timing trace for offline scoring with vqmtool — the same
+// two-step workflow the paper's instrumented clients used.
+//
+// Examples:
+//
+//	dsstream -testbed qbone -clip Lost -rate 1.7M -token 1.9M -depth 3000
+//	dsstream -testbed local -clip Lost -token 1.3M -depth 4500 -shape
+//	dsstream -testbed local -tcp -token 1.5M -trace out.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/experiment"
+	"repro/internal/render"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/video"
+	"repro/internal/vqm"
+)
+
+func main() {
+	testbed := flag.String("testbed", "qbone", "qbone or local")
+	clipName := flag.String("clip", "Lost", "Lost or Dark")
+	rateStr := flag.String("rate", "1.7M", "encoding rate (qbone: CBR target; local uses the WMV cap)")
+	tokenStr := flag.String("token", "1.9M", "policer token rate")
+	depth := flag.Int64("depth", 3000, "token bucket depth in bytes")
+	shape := flag.Bool("shape", false, "shape instead of (qbone) / ahead of (local) the dropping policer")
+	tcp := flag.Bool("tcp", false, "local testbed: stream over TCP")
+	seed := flag.Uint64("seed", experiment.DefaultSeed, "simulation seed")
+	traceOut := flag.String("trace", "", "write the frame timing trace to this file")
+	flag.Parse()
+
+	clip := video.ByName(*clipName)
+	if clip == nil {
+		fmt.Fprintf(os.Stderr, "unknown clip %q\n", *clipName)
+		os.Exit(2)
+	}
+	token, err := units.ParseBitRate(*tokenStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	var enc *video.Encoding
+	var pktLoss float64
+
+	switch *testbed {
+	case "qbone":
+		rate, err := units.ParseBitRate(*rateStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		enc = video.EncodeCBR(clip, rate)
+		q := topology.BuildQBone(topology.QBoneConfig{
+			Seed: *seed, Enc: enc, TokenRate: token,
+			Depth: units.ByteSize(*depth), Shape: *shape,
+		})
+		q.Client.Tolerance = client.SliceTolerance
+		q.Run()
+		tr = q.Client.Trace()
+		if q.Policer != nil {
+			pktLoss = q.Policer.LossFraction()
+		}
+	case "local":
+		enc = video.EncodeVBR(clip, units.BitRate(video.WMVCapKbps)*units.Kbps)
+		l := topology.BuildLocal(topology.LocalConfig{
+			Seed: *seed, Enc: enc, TokenRate: token,
+			Depth: units.ByteSize(*depth), UseShaper: *shape, UseTCP: *tcp,
+		})
+		if l.UDPClient != nil {
+			l.UDPClient.Tolerance = client.SliceTolerance
+		}
+		l.Run()
+		tr = l.Trace()
+		pktLoss = l.Policer.LossFraction()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown testbed %q\n", *testbed)
+		os.Exit(2)
+	}
+
+	decoded := tr
+	if enc.CBR {
+		decoded = client.DecodeMPEG(tr, enc)
+	}
+	d := render.Conceal(decoded, render.DefaultOptions())
+	res := vqm.Score(d, enc, enc, vqm.Options{})
+
+	fmt.Printf("testbed:        %s\n", *testbed)
+	fmt.Printf("encoding:       %s\n", enc.Name)
+	fmt.Printf("token rate:     %v, depth %d B, shape=%v\n", token, *depth, *shape)
+	fmt.Printf("packet loss:    %.4f\n", pktLoss)
+	fmt.Printf("frame loss:     %.4f (%d of %d frames)\n",
+		decoded.FrameLossFraction(), decoded.LostFrames(), decoded.ClipFrames)
+	fmt.Printf("freeze slots:   %d (longest %d)\n", d.Repeats, d.LongestFreeze())
+	fmt.Printf("VQM index:      %.3f  (0 = perfect, 1 = worst)\n", res.Index)
+	fmt.Printf("calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := tr.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:  %s\n", *traceOut)
+	}
+}

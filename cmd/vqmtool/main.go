@@ -1,0 +1,103 @@
+// Command vqmtool scores a stored frame timing trace against a
+// reference encoding — the offline half of the paper's measurement
+// pipeline (§3.1): dsstream plays the role of the instrumented client
+// writing the trace; vqmtool plays the role of the ITS VQM tool run
+// afterwards over the stored frames.
+//
+// Example:
+//
+//	dsstream -testbed qbone -token 1.8M -trace run.trace
+//	vqmtool -clip Lost -rate 1.7M -in run.trace
+//	vqmtool -clip Lost -rate 1.0M -ref 1.7M -in run.trace   # Figs. 13-14 mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/render"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/video"
+	"repro/internal/vqm"
+)
+
+func main() {
+	in := flag.String("in", "", "trace file produced by dsstream -trace (required)")
+	clipName := flag.String("clip", "Lost", "Lost or Dark")
+	rateStr := flag.String("rate", "1.7M", "encoding rate of the received stream (CBR) or 'wmv'")
+	refStr := flag.String("ref", "", "reference encoding rate (default: same as -rate)")
+	perSegment := flag.Bool("segments", false, "print per-segment scores")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vqmtool: -in is required")
+		os.Exit(2)
+	}
+	clip := video.ByName(*clipName)
+	if clip == nil {
+		fmt.Fprintf(os.Stderr, "unknown clip %q\n", *clipName)
+		os.Exit(2)
+	}
+	encode := func(s string) (*video.Encoding, error) {
+		if s == "wmv" {
+			return video.EncodeVBR(clip, units.BitRate(video.WMVCapKbps)*units.Kbps), nil
+		}
+		r, err := units.ParseBitRate(s)
+		if err != nil {
+			return nil, err
+		}
+		return video.EncodeCBR(clip, r), nil
+	}
+	enc, err := encode(*rateStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ref := enc
+	if *refStr != "" {
+		if ref, err = encode(*refStr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	decoded := tr
+	if enc.CBR {
+		decoded = client.DecodeMPEG(tr, enc)
+	}
+	d := render.Conceal(decoded, render.DefaultOptions())
+	res := vqm.Score(d, enc, ref, vqm.Options{})
+
+	fmt.Printf("trace:          %s (%d/%d frames received)\n", *in, len(tr.Records), tr.ClipFrames)
+	fmt.Printf("decodable:      %d (frame loss %.4f)\n",
+		len(decoded.Records), decoded.FrameLossFraction())
+	fmt.Printf("display slots:  %d (%d repeats, longest freeze %d)\n",
+		len(d.Frames), d.Repeats, d.LongestFreeze())
+	fmt.Printf("VQM index:      %.3f\n", res.Index)
+	fmt.Printf("calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
+	if *perSegment {
+		for i, s := range res.Segments {
+			status := "ok"
+			if !s.Aligned {
+				status = "CALIBRATION FAILED"
+			}
+			fmt.Printf("  seg %2d @%5d shift=%4d idx=%.3f %s\n",
+				i, s.StartSlot, s.Shift, s.Index, status)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro reproduces "On the Impact of Policing and Rate
+// Guarantees in Diff-Serv Networks: A Video Streaming Application
+// Perspective" (Ashmawi, Guérin, Wolf, Pinson — SIGCOMM 2001) as a
+// deterministic packet-level simulation study in pure Go.
+//
+// The library lives under internal/: a discrete-event simulator (sim),
+// the DiffServ data plane (packet, tokenbucket, queue, link, node),
+// traffic sources (traffic), the video content and encoder models
+// (video), streaming servers (server, tcpsim), the instrumented client
+// and renderer-concealment pipeline (client, render, trace), the
+// objective quality model (vqm), the two testbeds (topology) and the
+// measurement harness that regenerates every table and figure of the
+// paper (experiment).
+//
+// Entry points: cmd/dsbench regenerates all artifacts, cmd/dsstream
+// runs one experiment, cmd/vqmtool scores stored traces, and
+// examples/ holds runnable walkthroughs. bench_test.go in this
+// directory carries one benchmark per paper artifact.
+package repro

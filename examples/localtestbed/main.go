@@ -1,0 +1,45 @@
+// Local testbed: the Figs. 15–16 experiment pair — a Windows-Media-
+// style capped-VBR stream through the three-router Frame Relay chain,
+// with hard policing alone and with the Linux shaping router in front
+// of it — showing why the paper concludes that a slightly larger EF
+// bucket (or a shaper) matters so much more for bursty servers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func main() {
+	enc := video.EncodeVBR(video.Lost(), units.BitRate(video.WMVCapKbps)*units.Kbps)
+	max, avg, _ := enc.RateStats()
+	fmt.Printf("WMV encoding: cap %.1f kbps, measured avg %.0f bps, max %.0f bps\n\n",
+		video.WMVCapKbps, avg, max)
+
+	tokens := experiment.Scale(experiment.TokenSweep(500, 2500, 200), 2)
+
+	fmt.Println("-- Drop policing only (Figure 15) --")
+	fmt.Printf("%-10s %-22s %-22s\n", "Token", "B=3000 (loss / QI)", "B=4500 (loss / QI)")
+	for _, tok := range tokens {
+		p3 := experiment.RunLocalPoint(enc, tok, 3000, false, false, experiment.DefaultSeed)
+		p45 := experiment.RunLocalPoint(enc, tok, 4500, false, false, experiment.DefaultSeed)
+		fmt.Printf("%-10v %6.3f / %-13.3f %6.3f / %-13.3f\n",
+			tok, p3.FrameLoss, p3.Quality, p45.FrameLoss, p45.Quality)
+	}
+
+	fmt.Println("\n-- Linux shaper ahead of the policer (Figure 16) --")
+	fmt.Printf("%-10s %-22s %-22s\n", "Token", "B=3000 (loss / QI)", "B=4500 (loss / QI)")
+	for _, tok := range tokens {
+		p3 := experiment.RunLocalPoint(enc, tok, 3000, true, false, experiment.DefaultSeed)
+		p45 := experiment.RunLocalPoint(enc, tok, 4500, true, false, experiment.DefaultSeed)
+		fmt.Printf("%-10v %6.3f / %-13.3f %6.3f / %-13.3f\n",
+			tok, p3.FrameLoss, p3.Quality, p45.FrameLoss, p45.Quality)
+	}
+
+	fmt.Println("\nNote how with drop policing B=3000 never reaches quality 0 even at")
+	fmt.Println("2.5x the encoding cap, while shaping (or one extra MTU of depth)")
+	fmt.Println("recovers near-perfect quality at moderate token rates — §4.2.")
+}

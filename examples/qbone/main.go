@@ -1,0 +1,58 @@
+// QBone sweep: regenerate a compact version of Figure 7 — video
+// quality and frame loss versus token rate for both bucket depths —
+// and print the two findings the paper draws from it: the nonlinear
+// quality/loss relation, and average-rate sufficiency at B=4500.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func main() {
+	spec := experiment.Figure7Spec()
+	// Half resolution keeps this example under a minute.
+	spec.Tokens = experiment.Scale(spec.Tokens, 2)
+	fig := spec.Run()
+	fmt.Println(fig.Format())
+
+	// Pull out the two headline observations.
+	var b3, b45 []experiment.Point
+	for _, s := range fig.Series {
+		switch s.Label {
+		case "B=3000":
+			b3 = s.Points
+		case "B=4500":
+			b45 = s.Points
+		}
+	}
+	avgRate := 1.7 * units.Mbps
+	closest := func(pts []experiment.Point, r units.BitRate) experiment.Point {
+		best := pts[0]
+		for _, p := range pts {
+			if abs(float64(p.TokenRate-r)) < abs(float64(best.TokenRate-r)) {
+				best = p
+			}
+		}
+		return best
+	}
+	pAvg3 := closest(b3, avgRate)
+	pAvg45 := closest(b45, avgRate)
+	fmt.Printf("At the average encoding rate (%v):\n", avgRate)
+	fmt.Printf("  B=3000: quality %.3f   B=4500: quality %.3f\n", pAvg3.Quality, pAvg45.Quality)
+	fmt.Printf("  -> one extra MTU of bucket depth buys %.3f quality index\n\n",
+		pAvg3.Quality-pAvg45.Quality)
+
+	last3 := b3[len(b3)-1]
+	fmt.Printf("B=3000 needs ≈ the max encoding rate: quality %.3f at %v\n",
+		last3.Quality, last3.TokenRate)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

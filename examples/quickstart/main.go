@@ -1,0 +1,50 @@
+// Quickstart: stream one video clip across the simulated QBone behind
+// an EF policer and measure the perceived quality — the paper's core
+// experiment in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/experiment"
+	"repro/internal/render"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+	"repro/internal/vqm"
+)
+
+func main() {
+	// 1. Content: the "Lost" trailer, MPEG-1 CBR at 1.7 Mbps.
+	clip := video.Lost()
+	enc := video.EncodeCBR(clip, 1.7*units.Mbps)
+	max, avg, min := enc.RateStats()
+	fmt.Printf("clip %s: %d frames, %.2f s\n", clip.Name, clip.FrameCount(), clip.DurationSeconds())
+	fmt.Printf("encoding: avg %.0f bps (max %.0f, min %.0f)\n\n", avg, max, min)
+
+	// 2. Network: the wide-area testbed with an EF profile of
+	//    1.8 Mbps / 3000 bytes, dropping out-of-profile packets.
+	q := topology.BuildQBone(topology.QBoneConfig{
+		Seed:      experiment.DefaultSeed,
+		Enc:       enc,
+		TokenRate: 1.8 * units.Mbps,
+		Depth:     3000,
+	})
+	q.Client.Tolerance = client.SliceTolerance
+
+	// 3. Stream the whole clip.
+	q.Run()
+	fmt.Printf("policer: %d passed, %d dropped (%.2f%% packet loss)\n",
+		q.Policer.Passed, q.Policer.Dropped, 100*q.Policer.LossFraction())
+
+	// 4. Offline measurement pipeline: decode dependencies, renderer
+	//    concealment, VQM scoring — exactly §3.1 of the paper.
+	tr := client.DecodeMPEG(q.Client.Trace(), enc)
+	displayed := render.Conceal(tr, render.DefaultOptions())
+	result := vqm.ScoreSame(displayed, enc, vqm.Options{})
+
+	fmt.Printf("frame loss: %.2f%%\n", 100*tr.FrameLossFraction())
+	fmt.Printf("freezes: %d slots (longest %d)\n", displayed.Repeats, displayed.LongestFreeze())
+	fmt.Printf("VQM quality index: %.3f (0 = perfect, 1 = worst)\n", result.Index)
+}

@@ -1,0 +1,283 @@
+// Package client implements the instrumented receiver: it reassembles
+// video frames from UDP fragments (or from an in-order TCP byte
+// stream), timestamps each completed frame, and records the timing
+// trace the renderer-concealment step and the VQM tool consume — the
+// role the modified DirectShow filter graph played in the paper
+// (§3.1.1–3.1.2).
+package client
+
+import (
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// Clock exposes simulated time.
+type Clock interface {
+	Now() units.Time
+}
+
+// fragState accumulates one frame's reassembly progress.
+type fragState struct {
+	total    int
+	received int
+	gotFirst bool
+	last     units.Time
+}
+
+// UDP is a datagram receiver. By default a frame is usable only when
+// all of its fragments arrive — the IP-reassembly semantics that made
+// the large-datagram servers so fragile (one policed fragment kills
+// the whole datagram and hence the frame). A Tolerance function can
+// relax this for servers that send independent small messages, where
+// a decoder conceals a missing slice as long as the frame header
+// (first fragment) made it.
+type UDP struct {
+	clock Clock
+	tr    *trace.Trace
+
+	base    units.Time
+	started bool
+
+	frameInterval units.Time
+	frames        map[int]*fragState
+	emitted       map[int]bool
+
+	// Tolerance reports how many lost fragments of a frame with the
+	// given fragment count the decoder can conceal. nil means zero.
+	Tolerance func(frags int) int
+
+	Packets      int
+	PacketsBytes int64
+}
+
+// NewUDP returns a receiver for a clip with the given total frames.
+func NewUDP(clock Clock, clipFrames int) *UDP {
+	return &UDP{
+		clock:         clock,
+		tr:            &trace.Trace{ClipFrames: clipFrames},
+		frameInterval: video.FrameInterval(),
+		frames:        make(map[int]*fragState),
+		emitted:       make(map[int]bool),
+	}
+}
+
+// SliceTolerance is the concealment model for small-message servers
+// (VideoCharger-style): the decoder conceals roughly one lost slice
+// message in four and still emits the frame (with visible damage the
+// quality model penalizes); more loss than that, or losing the first
+// fragment (picture header — checked separately), drops the frame.
+func SliceTolerance(frags int) int {
+	t := (frags + 1) / 3
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Trace returns the accumulated frame trace.
+func (c *UDP) Trace() *trace.Trace { return c.tr }
+
+// Handle consumes one arriving packet.
+func (c *UDP) Handle(p *packet.Packet) {
+	now := c.clock.Now()
+	if !c.started {
+		c.started = true
+		c.base = now
+	}
+	c.Packets++
+	c.PacketsBytes += int64(p.Size)
+	if p.FrameSeq < 0 || c.emitted[p.FrameSeq] {
+		return
+	}
+	st := c.frames[p.FrameSeq]
+	if st == nil {
+		st = &fragState{total: p.FragCount}
+		c.frames[p.FrameSeq] = st
+	}
+	st.received++
+	st.last = now
+	if p.FragIndex == 0 {
+		st.gotFirst = true
+	}
+	if st.received >= st.total {
+		// Fully reassembled: emit immediately with exact timing.
+		c.emit(p.FrameSeq, st)
+	}
+}
+
+func (c *UDP) emit(seq int, st *fragState) {
+	c.emitted[seq] = true
+	delete(c.frames, seq)
+	c.tr.Add(trace.FrameRecord{
+		Seq:          seq,
+		Arrival:      st.last,
+		Presentation: c.base + units.Time(int64(seq))*c.frameInterval,
+		Frags:        st.total,
+		LostFrags:    st.total - st.received,
+	})
+}
+
+// Finish resolves partially received frames through the Tolerance
+// model, sorts the trace, and returns it.
+func (c *UDP) Finish() *trace.Trace {
+	if c.Tolerance != nil {
+		for seq, st := range c.frames {
+			lost := st.total - st.received
+			if st.gotFirst && lost <= c.Tolerance(st.total) {
+				c.emit(seq, st)
+			}
+		}
+	}
+	c.tr.SortBySeq()
+	return c.tr
+}
+
+// DecodeMPEG filters a received-frame trace through MPEG-1 reference
+// dependencies: an I frame decodes on its own; a P frame needs the
+// previous anchor (I or P) decoded; a B frame needs the previous
+// anchor too (the forward anchor is transmitted before the B pictures
+// in coded order, so its availability is implied). A policed I frame
+// therefore wipes out its GoP's remainder — the loss amplification a
+// real decoder exhibits, and part of why small frame-loss differences
+// move video quality so much.
+func DecodeMPEG(tr *trace.Trace, enc *video.Encoding) *trace.Trace {
+	received := make(map[int]trace.FrameRecord, len(tr.Records))
+	for _, r := range tr.Records {
+		received[r.Seq] = r
+	}
+	out := &trace.Trace{ClipFrames: tr.ClipFrames}
+	anchorOK := false
+	for i := 0; i < len(enc.Frames); i++ {
+		r, ok := received[i]
+		switch enc.Frames[i].Type {
+		case video.IFrame:
+			anchorOK = ok
+			if ok {
+				out.Add(r)
+			}
+		case video.PFrame:
+			ok = ok && anchorOK
+			anchorOK = ok
+			if ok {
+				out.Add(r)
+			}
+		default: // B frame
+			if ok && anchorOK {
+				out.Add(r)
+			}
+		}
+	}
+	return out
+}
+
+// Stream is a byte-stream receiver for TCP delivery: the server
+// writes length-prefixed frame messages; the in-order byte stream is
+// parsed back into frames. Frames are never lost on the wire — they
+// are either delivered (possibly late) or were thinned by the server.
+type Stream struct {
+	clock Clock
+	tr    *trace.Trace
+
+	base    units.Time
+	started bool
+
+	frameInterval units.Time
+
+	Bytes int64
+}
+
+// NewStream returns a TCP-side frame recorder.
+func NewStream(clock Clock, clipFrames int) *Stream {
+	return &Stream{
+		clock:         clock,
+		tr:            &trace.Trace{ClipFrames: clipFrames},
+		frameInterval: video.FrameInterval(),
+	}
+}
+
+// Trace returns the accumulated frame trace.
+func (c *Stream) Trace() *trace.Trace { return c.tr }
+
+// FrameHeaderSize is the length-prefix header of each frame message
+// on the TCP stream: 4 bytes frame seq + 4 bytes body length.
+const FrameHeaderSize = 8
+
+// message is one sender-side framing record.
+type message struct {
+	seq int
+	len int64
+}
+
+// StreamAssembler tracks the sender-side message framing so the
+// receiver can translate "n more in-order bytes arrived" into
+// completed frames. It is shared between the tcpsim sender and the
+// Stream receiver; payload contents never exist, only lengths.
+type StreamAssembler struct {
+	msgs    []message
+	cur     int
+	curLeft int64
+}
+
+// RegisterMessage appends a frame message of length bytes (including
+// header) for frame seq.
+func (a *StreamAssembler) RegisterMessage(seq int, length int64) {
+	a.msgs = append(a.msgs, message{seq: seq, len: length})
+}
+
+// TotalBytes reports the total registered stream length.
+func (a *StreamAssembler) TotalBytes() int64 {
+	var t int64
+	for _, m := range a.msgs {
+		t += m.len
+	}
+	return t
+}
+
+// Consume advances the assembler by n in-order delivered bytes and
+// returns the frame sequence numbers completed by those bytes.
+func (a *StreamAssembler) Consume(n int64) []int {
+	var completed []int
+	for n > 0 && a.cur < len(a.msgs) {
+		if a.curLeft == 0 {
+			a.curLeft = a.msgs[a.cur].len
+		}
+		take := n
+		if take > a.curLeft {
+			take = a.curLeft
+		}
+		a.curLeft -= take
+		n -= take
+		if a.curLeft == 0 {
+			completed = append(completed, a.msgs[a.cur].seq)
+			a.cur++
+		}
+	}
+	return completed
+}
+
+// OnDelivered is the callback the tcpsim receiver invokes as the
+// cumulative in-order byte count grows.
+func (c *Stream) OnDelivered(asm *StreamAssembler, newBytes int64) {
+	now := c.clock.Now()
+	if !c.started {
+		c.started = true
+		c.base = now
+	}
+	c.Bytes += newBytes
+	for _, seq := range asm.Consume(newBytes) {
+		c.tr.Add(trace.FrameRecord{
+			Seq:          seq,
+			Arrival:      now,
+			Presentation: c.base + units.Time(int64(seq))*c.frameInterval,
+			Frags:        1,
+		})
+	}
+}
+
+// Finish sorts the trace and returns it.
+func (c *Stream) Finish() *trace.Trace {
+	c.tr.SortBySeq()
+	return c.tr
+}

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestReassemblyOrderInvariance: a frame's delivery verdict must not
+// depend on the order its fragments arrive in.
+func TestReassemblyOrderInvariance(t *testing.T) {
+	f := func(seed uint64, frags uint8, lose uint8) bool {
+		n := int(frags%7) + 2 // 2..8 fragments
+		lost := int(lose) % n // 0..n-1 losses
+		rng := sim.NewRNG(seed)
+
+		run := func(shuffle bool) (delivered bool, damage int) {
+			clk := &fakeClock{}
+			c := NewUDP(clk, 10)
+			c.Tolerance = SliceTolerance
+			idx := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				idx = append(idx, i)
+			}
+			if shuffle {
+				for i := len(idx) - 1; i > 0; i-- {
+					j := rng.Intn(i + 1)
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			}
+			// Drop the *last* `lost` positions of the canonical order
+			// so both runs lose the same fragment identities.
+			dropped := map[int]bool{}
+			for i := n - lost; i < n; i++ {
+				dropped[i] = true
+			}
+			for _, fi := range idx {
+				if dropped[fi] {
+					continue
+				}
+				clk.now += units.Millisecond
+				c.Handle(&packet.Packet{FrameSeq: 0, FragIndex: fi, FragCount: n, Size: 1500})
+			}
+			tr := c.Finish()
+			if len(tr.Records) == 0 {
+				return false, 0
+			}
+			return true, tr.Records[0].LostFrags
+		}
+		d1, l1 := run(false)
+		d2, l2 := run(true)
+		return d1 == d2 && l1 == l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeMPEGNeverInventsFrames: the decode-dependency filter can
+// only remove frames, never add or duplicate.
+func TestDecodeMPEGNeverInventsFrames(t *testing.T) {
+	enc := mkCBREnc()
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		tr := newRandomTrace(rng, enc.Clip.FrameCount(), 0.3)
+		out := DecodeMPEG(tr, enc)
+		if len(out.Records) > len(tr.Records) {
+			t.Fatal("decode added frames")
+		}
+		in := map[int]bool{}
+		for _, r := range tr.Records {
+			in[r.Seq] = true
+		}
+		seen := map[int]bool{}
+		for _, r := range out.Records {
+			if !in[r.Seq] {
+				t.Fatalf("frame %d invented", r.Seq)
+			}
+			if seen[r.Seq] {
+				t.Fatalf("frame %d duplicated", r.Seq)
+			}
+			seen[r.Seq] = true
+		}
+	}
+}
+
+// newRandomTrace builds a trace with each frame present independently
+// with probability 1-lossP.
+func newRandomTrace(rng *sim.RNG, n int, lossP float64) *trace.Trace {
+	tr := &trace.Trace{ClipFrames: n}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < lossP {
+			continue
+		}
+		tr.Add(trace.FrameRecord{Seq: i, Frags: 1})
+	}
+	return tr
+}

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"repro/internal/units"
+)
+
+// Report is an RTCP-receiver-report-style summary of one feedback
+// interval: what the adaptive servers of §2.2 poll to steer their
+// rate. Loss is computed from packet-count deltas the way RTCP does
+// (expected minus received over the interval), and delay is the mean
+// one-way delay of the interval's packets.
+type Report struct {
+	Interval  units.Time
+	Expected  int // packets the sender reports having sent
+	Received  int
+	LossFrac  float64
+	MeanDelay units.Time
+}
+
+// Reporter accumulates per-interval receiver statistics from a UDP
+// client and a sender packet counter. It replaces ad-hoc closures in
+// experiment wiring: the server polls Poll() once per feedback tick.
+type Reporter struct {
+	client   *UDP
+	sentFn   func() int // sender-side cumulative packet count
+	lastSent int
+	lastRecv int
+	lastTime units.Time
+
+	// delay accumulation for the current interval
+	delaySum units.Time
+	delayN   int
+
+	History []Report
+}
+
+// NewReporter wires a reporter between a client and a sender counter.
+func NewReporter(c *UDP, sent func() int) *Reporter {
+	return &Reporter{client: c, sentFn: sent}
+}
+
+// ObserveDelay feeds one packet's one-way delay (callers that want
+// delay in reports tee arriving packets through this).
+func (r *Reporter) ObserveDelay(d units.Time) {
+	r.delaySum += d
+	r.delayN++
+}
+
+// Poll closes the current interval and returns its report.
+func (r *Reporter) Poll(now units.Time) Report {
+	sent, recv := r.sentFn(), r.client.Packets
+	rep := Report{
+		Interval: now - r.lastTime,
+		Expected: sent - r.lastSent,
+		Received: recv - r.lastRecv,
+	}
+	if rep.Expected > 0 {
+		rep.LossFrac = 1 - float64(rep.Received)/float64(rep.Expected)
+		if rep.LossFrac < 0 {
+			rep.LossFrac = 0
+		}
+	}
+	if r.delayN > 0 {
+		rep.MeanDelay = r.delaySum / units.Time(r.delayN)
+	}
+	r.lastSent, r.lastRecv, r.lastTime = sent, recv, now
+	r.delaySum, r.delayN = 0, 0
+	r.History = append(r.History, rep)
+	return rep
+}

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestReporterLossFraction(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewUDP(clk, 100)
+	sent := 0
+	r := NewReporter(c, func() int { return sent })
+
+	// Interval 1: 10 sent, 8 received.
+	sent = 10
+	for i := 0; i < 8; i++ {
+		c.Handle(frag(i, 0, 1))
+	}
+	rep := r.Poll(units.Second)
+	if rep.Expected != 10 || rep.Received != 8 {
+		t.Fatalf("interval 1: %+v", rep)
+	}
+	if rep.LossFrac < 0.199 || rep.LossFrac > 0.201 {
+		t.Errorf("loss = %v, want ≈0.2", rep.LossFrac)
+	}
+
+	// Interval 2: 5 more sent, all received — deltas, not cumulative.
+	sent = 15
+	for i := 8; i < 13; i++ {
+		c.Handle(frag(i, 0, 1))
+	}
+	rep = r.Poll(2 * units.Second)
+	if rep.Expected != 5 || rep.Received != 5 || rep.LossFrac != 0 {
+		t.Errorf("interval 2: %+v", rep)
+	}
+	if rep.Interval != units.Second {
+		t.Errorf("interval duration %v", rep.Interval)
+	}
+	if len(r.History) != 2 {
+		t.Errorf("history = %d", len(r.History))
+	}
+}
+
+func TestReporterDelay(t *testing.T) {
+	c := NewUDP(&fakeClock{}, 10)
+	r := NewReporter(c, func() int { return 0 })
+	r.ObserveDelay(10 * units.Millisecond)
+	r.ObserveDelay(20 * units.Millisecond)
+	rep := r.Poll(units.Second)
+	if rep.MeanDelay != 15*units.Millisecond {
+		t.Errorf("mean delay = %v", rep.MeanDelay)
+	}
+	// Next interval starts clean.
+	rep = r.Poll(2 * units.Second)
+	if rep.MeanDelay != 0 {
+		t.Errorf("delay leaked across intervals: %v", rep.MeanDelay)
+	}
+}
+
+func TestReporterClampsNegativeLoss(t *testing.T) {
+	// Duplicated or reordered accounting can make received > expected;
+	// the loss fraction must clamp at 0 like RTCP implementations do.
+	c := NewUDP(&fakeClock{}, 100)
+	sent := 2
+	r := NewReporter(c, func() int { return sent })
+	for i := 0; i < 3; i++ {
+		c.Handle(frag(i, 0, 1))
+	}
+	rep := r.Poll(units.Second)
+	if rep.LossFrac != 0 {
+		t.Errorf("loss = %v, want clamp to 0", rep.LossFrac)
+	}
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import "testing"
+
+// TestAblationAFCrossTrafficDependence asserts the reason the paper
+// deferred AF (§2.1): outcomes depend on the in-class cross traffic.
+// With a lightly loaded class, even a too-small CIR (lots of red
+// packets) streams perfectly; under heavy in-class load, quality
+// becomes a function of the committed rate.
+func TestAblationAFCrossTrafficDependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	pts := AblationAF(DefaultSeed)
+	t.Log("\n" + FormatAF(pts))
+	byKey := map[[2]int]AFPoint{}
+	for _, p := range pts {
+		byKey[[2]int{int(p.AFLoad * 100), int(p.CIR)}] = p
+	}
+	lowLoadSmallCIR := byKey[[2]int{15, 600000}]
+	highLoadSmallCIR := byKey[[2]int{75, 600000}]
+	highLoadBigCIR := byKey[[2]int{75, 1400000}]
+	if lowLoadSmallCIR.Quality > 0.05 {
+		t.Errorf("light AF class: quality %v despite red marking — RIO should not drop", lowLoadSmallCIR.Quality)
+	}
+	if highLoadSmallCIR.Quality <= lowLoadSmallCIR.Quality+0.05 {
+		t.Errorf("congested AF class did not punish out-of-profile traffic: %v vs %v",
+			highLoadSmallCIR.Quality, lowLoadSmallCIR.Quality)
+	}
+	if highLoadBigCIR.Quality > 0.05 {
+		t.Errorf("all-green stream suffered under load: %v", highLoadBigCIR.Quality)
+	}
+	if highLoadSmallCIR.Quality <= highLoadBigCIR.Quality {
+		t.Error("CIR made no difference under congestion")
+	}
+	// Marking itself must be monotone in CIR.
+	if !(byKey[[2]int{15, 600000}].Red > byKey[[2]int{15, 1000000}].Red &&
+		byKey[[2]int{15, 1000000}].Red >= byKey[[2]int{15, 1400000}].Red) {
+		t.Error("red packet count not monotone in CIR")
+	}
+}
+
+func TestAblationJitterRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	out := AblationJitter(DefaultSeed)
+	t.Log("\n" + out)
+	if out == "" {
+		t.Fatal("empty ablation output")
+	}
+}
+
+func TestAblationHopCountRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	out := AblationHopCount(DefaultSeed)
+	t.Log("\n" + out)
+	if out == "" {
+		t.Fatal("empty ablation output")
+	}
+}
+
+func TestAblationShaperVsDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	fig := AblationShaperVsDrop(DefaultSeed)
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Where the profile covers the stream (token ≥ avg rate), shaping
+	// must be at least as good as dropping: the playout buffer absorbs
+	// the shaper's small delays, while policer losses are permanent.
+	// Below the average rate both are bad — a shaper under sustained
+	// deficit builds unbounded delay — so no ordering is asserted.
+	get := func(label string) Series {
+		for _, s := range fig.Series {
+			if s.Label == label {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s", label)
+		return Series{}
+	}
+	for _, depth := range []string{"B=3000", "B=4500"} {
+		drop, shape := get("drop/"+depth), get("shape/"+depth)
+		for i := range drop.Points {
+			if drop.Points[i].TokenRate < 1.7e6 {
+				continue // sustained-deficit regime
+			}
+			if shape.Points[i].Quality > drop.Points[i].Quality+0.05 {
+				t.Errorf("%s @ %v: shaping (%.3f) worse than dropping (%.3f)",
+					depth, drop.Points[i].TokenRate,
+					shape.Points[i].Quality, drop.Points[i].Quality)
+			}
+		}
+	}
+}
+
+func TestEFServiceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	out := EFServiceReport(DefaultSeed)
+	t.Log("\n" + out)
+	if out == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// TestDropDistribution histograms policer drops per 5-second bin to
+// see whether residual losses at the average token rate are spread or
+// clustered (model diagnostics; run with -v).
+func TestDropDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	enc := video.EncodeCBR(video.Lost(), 1.7e6)
+	for _, depth := range []units.ByteSize{3000, 4500} {
+		q := topology.BuildQBone(topology.QBoneConfig{
+			Seed: DefaultSeed, Enc: enc, TokenRate: 1.7e6, Depth: depth,
+		})
+		bins := make(map[int]int)
+		q.Policer.OnDrop(packet.HandlerFunc(func(p *packet.Packet) {
+			bins[int(q.Sim.Now().Seconds())/5]++
+		}))
+		q.Run()
+		t.Logf("depth=%d drops=%d passed=%d", int64(depth), q.Policer.Dropped, q.Policer.Passed)
+		for b := 0; b < 16; b++ {
+			t.Logf("  t=[%2d,%2d)s drops=%d", b*5, b*5+5, bins[b])
+		}
+	}
+}

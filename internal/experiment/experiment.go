@@ -1,0 +1,258 @@
+// Package experiment is the measurement harness: it runs streaming
+// experiments over the simulated testbeds, feeds the resulting frame
+// traces through the renderer-concealment and VQM pipeline, and
+// regenerates every table and figure of the paper's evaluation
+// (Section 4). See DESIGN.md for the experiment index.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/render"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/video"
+	"repro/internal/vqm"
+)
+
+// Evaluation is the per-run outcome: the two quantities every figure
+// plots against token rate.
+type Evaluation struct {
+	FrameLoss   float64 // fraction of clip frames never decodable
+	Quality     float64 // VQM index: 0 best, 1 worst
+	PacketLoss  float64 // network-level packet loss at the policer
+	Calibration int     // VQM segments that failed temporal calibration
+}
+
+// Evaluate runs the offline pipeline of §3.1 on a frame trace:
+// MPEG decode dependencies (for CBR/MPEG content), renderer
+// concealment, then VQM scoring of the displayed sequence against ref.
+func Evaluate(tr *trace.Trace, recv, ref *video.Encoding) Evaluation {
+	if recv.CBR {
+		tr = client.DecodeMPEG(tr, recv)
+	}
+	d := render.Conceal(tr, render.DefaultOptions())
+	res := vqm.Score(d, recv, ref, vqm.Options{})
+	return Evaluation{
+		FrameLoss:   tr.FrameLossFraction(),
+		Quality:     res.Index,
+		Calibration: res.CalibrationFailures,
+	}
+}
+
+// Point is one sweep sample.
+type Point struct {
+	TokenRate units.BitRate
+	Depth     units.ByteSize
+	Evaluation
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table, one row per
+// token rate, one (loss, quality) column pair per series.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-12s", "TokenRate")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %-10s %-10s", "Loss("+s.Label+")", "QI("+s.Label+")")
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 || len(f.Series[0].Points) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-12s", f.Series[0].Points[i].TokenRate)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				p := s.Points[i]
+				fmt.Fprintf(&b, " | %-10.3f %-10.3f", p.FrameLoss, p.Quality)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TokenSweep builds an inclusive token-rate range in kbps steps.
+func TokenSweep(fromKbps, toKbps, stepKbps int) []units.BitRate {
+	var out []units.BitRate
+	for k := fromKbps; k <= toKbps; k += stepKbps {
+		out = append(out, units.BitRate(k)*units.Kbps)
+	}
+	return out
+}
+
+// QBoneSpec parameterizes one QBone figure (Figs. 7–12): a clip
+// encoded at one CBR rate, streamed for every (token rate, depth)
+// combination, scored against its own encoding.
+type QBoneSpec struct {
+	ID      string
+	Title   string
+	Clip    *video.Clip
+	EncRate units.BitRate
+	Tokens  []units.BitRate
+	Depths  []units.ByteSize
+	Seed    uint64
+	// Runs averages each point over this many seeds (seed, seed+1, …);
+	// 0 means 3. The paper repeated runs for the same reason: jitter
+	// makes individual runs noisy (§4 "there is some variability").
+	Runs int
+	// CrossLoad overrides the default background load (0 keeps it).
+	CrossLoad float64
+}
+
+// Run regenerates the figure.
+func (spec QBoneSpec) Run() *Figure {
+	enc := video.EncodeCBR(spec.Clip, spec.EncRate)
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	for _, depth := range spec.Depths {
+		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
+		for _, tok := range spec.Tokens {
+			s.Points = append(s.Points, RunQBonePointAvg(enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// RunQBonePointAvg averages RunQBonePoint over consecutive seeds.
+func RunQBonePointAvg(enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
+	if runs <= 1 {
+		return RunQBonePoint(enc, ref, tok, depth, seed, crossLoad)
+	}
+	var acc Point
+	for r := 0; r < runs; r++ {
+		p := RunQBonePoint(enc, ref, tok, depth, seed+uint64(r), crossLoad)
+		acc.FrameLoss += p.FrameLoss
+		acc.Quality += p.Quality
+		acc.PacketLoss += p.PacketLoss
+		acc.Calibration += p.Calibration
+	}
+	acc.TokenRate, acc.Depth = tok, depth
+	acc.FrameLoss /= float64(runs)
+	acc.Quality /= float64(runs)
+	acc.PacketLoss /= float64(runs)
+	return acc
+}
+
+// RunQBonePoint streams enc across the QBone with the given profile
+// and evaluates the received video against ref.
+func RunQBonePoint(enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
+	q := topology.BuildQBone(topology.QBoneConfig{
+		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth, CrossLoad: crossLoad,
+	})
+	q.Client.Tolerance = client.SliceTolerance
+	q.Run()
+	ev := Evaluate(q.Client.Trace(), enc, ref)
+	if q.Policer != nil {
+		ev.PacketLoss = q.Policer.LossFraction()
+	}
+	return Point{TokenRate: tok, Depth: depth, Evaluation: ev}
+}
+
+// RelativeSpec parameterizes the Figs. 13–14 experiments: three
+// encodings of the same clip streamed at each token rate with a fixed
+// depth, all scored against the highest-quality (1.7 Mbps) encoding.
+type RelativeSpec struct {
+	ID       string
+	Title    string
+	Clip     *video.Clip
+	EncRates []units.BitRate
+	RefRate  units.BitRate
+	Tokens   []units.BitRate
+	Depth    units.ByteSize
+	Seed     uint64
+	Runs     int // seeds averaged per point; 0 means 3
+}
+
+// Run regenerates the figure.
+func (spec RelativeSpec) Run() *Figure {
+	ref := video.EncodeCBR(spec.Clip, spec.RefRate)
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	for _, er := range spec.EncRates {
+		var enc *video.Encoding
+		if er == spec.RefRate {
+			enc = ref
+		} else {
+			enc = video.EncodeCBR(spec.Clip, er)
+		}
+		s := Series{Label: er.String()}
+		for _, tok := range spec.Tokens {
+			s.Points = append(s.Points, RunQBonePointAvg(enc, ref, tok, spec.Depth, spec.Seed, 0, runs))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// LocalSpec parameterizes the Figs. 15–16 experiments: the WMV-encoded
+// Lost clip streamed over TCP through the local testbed, with or
+// without the Linux shaping router ahead of the dropping policer.
+type LocalSpec struct {
+	ID        string
+	Title     string
+	Clip      *video.Clip
+	CapKbps   float64
+	Tokens    []units.BitRate
+	Depths    []units.ByteSize
+	UseShaper bool
+	UseTCP    bool
+	Seed      uint64
+}
+
+// Run regenerates the figure.
+func (spec LocalSpec) Run() *Figure {
+	enc := video.EncodeVBR(spec.Clip, units.BitRate(spec.CapKbps)*units.Kbps)
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	for _, depth := range spec.Depths {
+		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
+		for _, tok := range spec.Tokens {
+			s.Points = append(s.Points, RunLocalPoint(enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// RunLocalPoint streams enc through the local testbed and evaluates.
+func RunLocalPoint(enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {
+	l := topology.BuildLocal(topology.LocalConfig{
+		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth,
+		UseTCP: useTCP, UseShaper: useShaper,
+	})
+	if l.UDPClient != nil {
+		// WMT's reduced message sizes mean one lost packet damages a
+		// frame instead of voiding a whole fragmented datagram (§2.2).
+		l.UDPClient.Tolerance = client.SliceTolerance
+	}
+	l.Run()
+	ev := Evaluate(l.Trace(), enc, enc)
+	if l.Policer != nil {
+		ev.PacketLoss = l.Policer.LossFraction()
+	}
+	return Point{TokenRate: tok, Depth: depth, Evaluation: ev}
+}

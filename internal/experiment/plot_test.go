@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFixture() *Figure {
+	return &Figure{
+		ID: "Figure T", Title: "test",
+		Series: []Series{
+			{Label: "B=3000", Points: []Point{
+				{TokenRate: 1.0e6, Evaluation: Evaluation{Quality: 1, FrameLoss: 0.5}},
+				{TokenRate: 1.5e6, Evaluation: Evaluation{Quality: 0.5, FrameLoss: 0.2}},
+				{TokenRate: 2.0e6, Evaluation: Evaluation{Quality: 0, FrameLoss: 0}},
+			}},
+			{Label: "B=4500", Points: []Point{
+				{TokenRate: 1.0e6, Evaluation: Evaluation{Quality: 0.9, FrameLoss: 0.4}},
+				{TokenRate: 2.0e6, Evaluation: Evaluation{Quality: 0, FrameLoss: 0}},
+			}},
+		},
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	out := plotFixture().Plot(40, 10, false)
+	if !strings.Contains(out, "*=B=3000") || !strings.Contains(out, "o=B=4500") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.0 |") || !strings.Contains(out, "0.0 |") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1000 kbps") || !strings.Contains(out, "2000 kbps") {
+		t.Errorf("x labels missing:\n%s", out)
+	}
+	// A QI≈1 point must land on the top row and QI=0 on the bottom
+	// (series may overdraw each other at shared cells, so accept any
+	// glyph).
+	lines := strings.Split(out, "\n")
+	if !strings.ContainsAny(lines[1], "*o") {
+		t.Errorf("top row missing worst-quality point:\n%s", out)
+	}
+	if !strings.ContainsAny(lines[10], "*o") {
+		t.Errorf("bottom row missing best-quality point:\n%s", out)
+	}
+}
+
+func TestPlotLossMode(t *testing.T) {
+	out := plotFixture().Plot(40, 10, true)
+	if !strings.Contains(out, "frame loss") {
+		t.Errorf("metric label missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	f := &Figure{ID: "E"}
+	if out := f.Plot(40, 10, false); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestPlotDefaults(t *testing.T) {
+	out := plotFixture().Plot(0, 0, false)
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Error("default dimensions too small")
+	}
+}

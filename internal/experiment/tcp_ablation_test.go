@@ -1,0 +1,14 @@
+package experiment
+
+import "testing"
+
+func TestAblationLocalTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	out := AblationLocalTCP(DefaultSeed)
+	t.Log("\n" + out)
+	if out == "" {
+		t.Fatal("empty")
+	}
+}

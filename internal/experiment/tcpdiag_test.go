@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// TestTCPDiag traces the TCP sender state through a lossy policer
+// (model diagnostics; run with -v).
+func TestTCPDiag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	enc := video.EncodeVBR(video.Lost(), units.BitRate(video.WMVCapKbps)*units.Kbps)
+	l := topology.BuildLocal(topology.LocalConfig{
+		Seed: DefaultSeed, Enc: enc, TokenRate: 1.7e6, Depth: 3000, UseTCP: true,
+	})
+	l.TCPServer.Start()
+	for s := 1; s <= 20; s++ {
+		l.Sim.RunUntil(units.FromSeconds(float64(s)))
+		t.Logf("t=%2ds cwnd=%6.0f una=%8d nxt=%8d app=%8d sent=%5d rexmit=%4d rto=%3d polDrop=%d thin=%d",
+			s, l.Sender.Cwnd(), l.Sender.Delivered(), l.Sender.Unacked()+l.Sender.Delivered(),
+			l.Sender.Backlog()+l.Sender.Unacked()+l.Sender.Delivered(),
+			l.Sender.Sent, l.Sender.Retransmits, l.Sender.Timeouts,
+			l.Policer.Dropped, l.TCPServer.FramesThinned)
+	}
+}

@@ -1,0 +1,168 @@
+// Package link models transmission resources: a serializing Link with
+// a finite bit rate, propagation delay and an attached scheduler, plus
+// a Frame Relay interface emulation (CIR/Bc/Be) matching Table 1 of
+// the paper, and a jitter element standing in for the uncontrolled
+// campus segments upstream of the QBone policer.
+package link
+
+import (
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Link serializes packets at Rate, adds propagation Delay, and hands
+// them to Next. Arriving packets enter the Scheduler; the link drains
+// it one transmission time at a time — the standard output-queued
+// router port model.
+type Link struct {
+	Sim   *sim.Simulator
+	Rate  units.BitRate
+	Delay units.Time
+	Sched queue.Scheduler
+	Next  packet.Handler
+
+	busy bool
+
+	Sent      int
+	SentBytes int64
+	// BusyTime accumulates transmission time for utilization stats.
+	BusyTime units.Time
+}
+
+// New returns a link with the given rate, propagation delay, scheduler
+// and next hop.
+func New(s *sim.Simulator, rate units.BitRate, delay units.Time, sched queue.Scheduler, next packet.Handler) *Link {
+	if sched == nil {
+		sched = queue.NewSingleFIFO(0)
+	}
+	return &Link{Sim: s, Rate: rate, Delay: delay, Sched: sched, Next: next}
+}
+
+// Handle enqueues p for transmission.
+func (l *Link) Handle(p *packet.Packet) {
+	p.EnqueuedAt = l.Sim.Now()
+	if !l.Sched.Enqueue(p) {
+		return // queue drop, counted by the scheduler
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.Sched.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := l.Rate.TxTime(p.Size)
+	l.BusyTime += tx
+	l.Sim.After(tx, func() {
+		l.Sent++
+		l.SentBytes += int64(p.Size)
+		// Propagation: deliver after Delay without blocking the wire.
+		if l.Delay > 0 {
+			l.Sim.After(l.Delay, func() { l.Next.Handle(p) })
+		} else {
+			l.Next.Handle(p)
+		}
+		l.transmitNext()
+	})
+}
+
+// Utilization reports the fraction of elapsed time spent transmitting.
+func (l *Link) Utilization() float64 {
+	now := l.Sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.BusyTime) / float64(now)
+}
+
+// FrameRelayConfig is one row of the paper's Table 1: the Committed
+// Information Rate, Committed Burst Size, and Excess Burst Size of a
+// Frame Relay interface.
+type FrameRelayConfig struct {
+	Name string        // e.g. "router2/FR1"
+	CIR  units.BitRate // committed information rate
+	Bc   int64         // committed burst, bits per Tc
+	Be   int64         // excess burst, bits per Tc
+	Kind string        // "HSSI" or "V.35"
+}
+
+// Tc reports the committed measurement interval Bc/CIR.
+func (c FrameRelayConfig) Tc() units.Time {
+	if c.CIR <= 0 {
+		return 0
+	}
+	return units.Time(float64(c.Bc) / float64(c.CIR) * float64(units.Second))
+}
+
+// Table1 reproduces the paper's Table 1: every interface at CIR =
+// 2 Mbps, Bc = 2 Mbit, Be = 0 — i.e. the FR network emulates constant
+// 2 Mbps pipes, with the V.35 E1 interface as the bottleneck.
+func Table1() []FrameRelayConfig {
+	return []FrameRelayConfig{
+		{Name: "router2/FR1", CIR: 2e6, Bc: 2e6, Be: 0, Kind: "V.35"},
+		{Name: "router2/FR0", CIR: 2e6, Bc: 2e6, Be: 0, Kind: "HSSI"},
+		{Name: "router1/FR1", CIR: 2e6, Bc: 2e6, Be: 0, Kind: "HSSI"},
+		{Name: "router3/FR1", CIR: 2e6, Bc: 2e6, Be: 0, Kind: "V.35"},
+	}
+}
+
+// NewFrameRelay builds a Link whose effective rate is the FR CIR with
+// Be=0 — the paper's configuration "to emulate a set of constant rate
+// links". The serialization behaviour of a CIR-limited PVC with Be=0
+// is exactly a constant-rate link at CIR.
+func NewFrameRelay(s *sim.Simulator, cfg FrameRelayConfig, delay units.Time, sched queue.Scheduler, next packet.Handler) *Link {
+	return New(s, cfg.CIR, delay, sched, next)
+}
+
+// Jitter perturbs inter-packet spacing by a random delay in [0, Max],
+// modeling the uncontrolled campus/cross-traffic segments that the
+// paper notes can push a stream out of profile before it reaches the
+// policer (the ATM CDV-tolerance analogy, §3.2). Delivery order is
+// preserved by never scheduling a packet before its predecessor.
+type Jitter struct {
+	Sim  *sim.Simulator
+	Max  units.Time
+	Next packet.Handler
+
+	lastDelivery units.Time
+}
+
+// Handle delays p by a uniform random jitter, preserving order.
+func (j *Jitter) Handle(p *packet.Packet) {
+	d := units.Time(0)
+	if j.Max > 0 {
+		d = units.Time(j.Sim.RNG().Float64() * float64(j.Max))
+	}
+	t := j.Sim.Now() + d
+	if t < j.lastDelivery {
+		t = j.lastDelivery
+	}
+	j.lastDelivery = t
+	j.Sim.At(t, func() { j.Next.Handle(p) })
+}
+
+// Loss drops packets independently with probability P — a stand-in
+// for residual uncontrolled loss on wide-area segments.
+type Loss struct {
+	Sim  *sim.Simulator
+	P    float64
+	Next packet.Handler
+
+	Dropped int
+}
+
+// Handle drops or forwards p.
+func (l *Loss) Handle(p *packet.Packet) {
+	if l.P > 0 && l.Sim.RNG().Float64() < l.P {
+		l.Dropped++
+		return
+	}
+	l.Next.Handle(p)
+}

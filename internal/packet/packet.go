@@ -1,0 +1,191 @@
+// Package packet defines the unit of work that flows through the
+// simulated network: an IP-datagram-sized packet annotated with the
+// DiffServ code point, flow identity, and the application-level frame
+// it carries.
+//
+// Packets are passed by pointer and never copied once created, so a
+// component may stamp metadata (marking, timestamps) in place, in the
+// spirit of gopacket's zero-copy decoding paths.
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// DSCP is a Differentiated Services Code Point (RFC 2474).
+type DSCP uint8
+
+// Code points used in the experiments.
+const (
+	// BestEffort is the default PHB.
+	BestEffort DSCP = 0
+	// EF is the Expedited Forwarding code point 101110b (RFC 2598).
+	// (The paper's testbed configured 101100b on the routers; the
+	// constant here follows the RFC value — only equality matters.)
+	EF DSCP = 0x2E
+	// AF11..AF13 are the Assured Forwarding class-1 drop precedences
+	// (RFC 2597), used by the srTCM/trTCM markers: green, yellow, red.
+	AF11 DSCP = 0x0A
+	AF12 DSCP = 0x0C
+	AF13 DSCP = 0x0E
+)
+
+// String names the code point.
+func (d DSCP) String() string {
+	switch d {
+	case BestEffort:
+		return "BE"
+	case EF:
+		return "EF"
+	case AF11:
+		return "AF11"
+	case AF12:
+		return "AF12"
+	case AF13:
+		return "AF13"
+	default:
+		return fmt.Sprintf("DSCP(0x%02x)", uint8(d))
+	}
+}
+
+// Color is the token-bucket marker verdict used by the three-color
+// markers (RFC 2697/2698).
+type Color uint8
+
+// Marker verdicts.
+const (
+	Green Color = iota
+	Yellow
+	Red
+)
+
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("Color(%d)", uint8(c))
+	}
+}
+
+// Proto is the transport protocol of a packet.
+type Proto uint8
+
+// Transport protocols the servers use.
+const (
+	UDP Proto = iota
+	TCP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	if p == TCP {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// FlowID identifies a transport flow (the classifier key). The paper's
+// router-1 policy classifies on (src, dst) of the video connection;
+// a small integer id is the simulation equivalent.
+type FlowID uint32
+
+// Packet is one IP datagram in flight.
+type Packet struct {
+	ID    uint64 // unique per simulation, in send order
+	Flow  FlowID // classifier key
+	Proto Proto  // transport protocol
+	Size  int    // bytes on the wire, including headers
+	DSCP  DSCP   // current marking
+	Color Color  // marker verdict, when a 3-color marker ran
+
+	// Application payload description. FrameSeq identifies the video
+	// frame this packet is a fragment of; FragIndex/FragCount locate
+	// the fragment within the frame's datagram; a frame is delivered
+	// only when every fragment arrives (IP fragmentation semantics,
+	// which is what made the large-datagram servers fragile).
+	FrameSeq  int
+	FragIndex int
+	FragCount int
+
+	// TCP bookkeeping (used only by tcpsim flows).
+	Seq   int64 // first payload byte sequence number
+	Ack   int64 // cumulative ack carried (for ACK segments Size is hdr only)
+	IsAck bool
+	SYN   bool
+	FIN   bool
+
+	SentAt     units.Time // stamped by the sender
+	EnqueuedAt units.Time // last queue admission time, for delay stats
+}
+
+// String summarizes the packet for logs and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d flow=%d %s %dB %s frame=%d frag=%d/%d}",
+		p.ID, p.Flow, p.Proto, p.Size, p.DSCP, p.FrameSeq, p.FragIndex+1, p.FragCount)
+}
+
+// Handler consumes packets. Every data-plane component (policer,
+// queue, link, router, client) implements Handler, so topologies are
+// built by plugging Handlers together.
+type Handler interface {
+	// Handle takes ownership of p at the current simulated time.
+	Handle(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// Handle calls f(p).
+func (f HandlerFunc) Handle(p *Packet) { f(p) }
+
+// Sink is a Handler that counts and otherwise discards everything;
+// useful as a default next hop and in tests.
+type Sink struct {
+	Count int
+	Bytes int64
+	Last  *Packet
+}
+
+// Handle records and drops p.
+func (s *Sink) Handle(p *Packet) {
+	s.Count++
+	s.Bytes += int64(p.Size)
+	s.Last = p
+}
+
+// Tee duplicates delivery to both handlers, in order.
+type Tee struct{ A, B Handler }
+
+// Handle forwards p to A then B.
+func (t Tee) Handle(p *Packet) {
+	if t.A != nil {
+		t.A.Handle(p)
+	}
+	if t.B != nil {
+		t.B.Handle(p)
+	}
+}
+
+// Counter wraps a next hop and counts what passes through.
+type Counter struct {
+	Next  Handler
+	Count int
+	Bytes int64
+}
+
+// Handle counts p then forwards it.
+func (c *Counter) Handle(p *Packet) {
+	c.Count++
+	c.Bytes += int64(p.Size)
+	if c.Next != nil {
+		c.Next.Handle(p)
+	}
+}

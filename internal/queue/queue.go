@@ -1,0 +1,145 @@
+// Package queue provides the buffer-management and scheduling
+// mechanisms a DiffServ core router needs: drop-tail FIFOs, a strict
+// priority scheduler (the paper's routers served EF from "a simple
+// priority queue structure", §3.2.1.2), and RED / RIO for the Assured
+// Forwarding extension.
+package queue
+
+import (
+	"repro/internal/packet"
+)
+
+// FIFO is a bounded drop-tail queue measured in packets and bytes.
+// Either limit may be zero to disable it. The zero value is an
+// unbounded queue.
+type FIFO struct {
+	MaxPackets int
+	MaxBytes   int64
+
+	pkts  []*packet.Packet
+	bytes int64
+
+	Enqueued int
+	Dropped  int
+}
+
+// Len reports the number of queued packets.
+func (q *FIFO) Len() int { return len(q.pkts) }
+
+// Bytes reports the queued byte count.
+func (q *FIFO) Bytes() int64 { return q.bytes }
+
+// Push appends p, or drops it (returning false) if a limit would be
+// exceeded.
+func (q *FIFO) Push(p *packet.Packet) bool {
+	if q.MaxPackets > 0 && len(q.pkts) >= q.MaxPackets {
+		q.Dropped++
+		return false
+	}
+	if q.MaxBytes > 0 && q.bytes+int64(p.Size) > q.MaxBytes {
+		q.Dropped++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += int64(p.Size)
+	q.Enqueued++
+	return true
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (q *FIFO) Pop() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= int64(p.Size)
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil.
+func (q *FIFO) Peek() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}
+
+// Scheduler selects the next packet to transmit from a set of queues.
+type Scheduler interface {
+	// Enqueue admits p to the appropriate queue; reports false on drop.
+	Enqueue(p *packet.Packet) bool
+	// Dequeue removes and returns the next packet to send, or nil.
+	Dequeue() *packet.Packet
+	// Len reports the total queued packets.
+	Len() int
+}
+
+// Priority is a strict two-level priority scheduler: packets whose
+// DSCP is in the high set are always served before anything else.
+// This is exactly the paper's core configuration: "the high priority
+// queue being assigned to traffic marked with the EF DSCP".
+type Priority struct {
+	High FIFO
+	Low  FIFO
+
+	isHigh func(packet.DSCP) bool
+}
+
+// NewPriority returns a priority scheduler that treats the given code
+// points as high priority, with per-class packet limits (0 = unbounded).
+func NewPriority(highLimit, lowLimit int, high ...packet.DSCP) *Priority {
+	set := make(map[packet.DSCP]bool, len(high))
+	for _, d := range high {
+		set[d] = true
+	}
+	return &Priority{
+		High:   FIFO{MaxPackets: highLimit},
+		Low:    FIFO{MaxPackets: lowLimit},
+		isHigh: func(d packet.DSCP) bool { return set[d] },
+	}
+}
+
+// NewEFPriority is the common case: EF is high priority, everything
+// else best effort.
+func NewEFPriority(highLimit, lowLimit int) *Priority {
+	return NewPriority(highLimit, lowLimit, packet.EF)
+}
+
+// Enqueue admits p to its class queue.
+func (s *Priority) Enqueue(p *packet.Packet) bool {
+	if s.isHigh(p.DSCP) {
+		return s.High.Push(p)
+	}
+	return s.Low.Push(p)
+}
+
+// Dequeue serves the high queue exhaustively before the low queue.
+func (s *Priority) Dequeue() *packet.Packet {
+	if p := s.High.Pop(); p != nil {
+		return p
+	}
+	return s.Low.Pop()
+}
+
+// Len reports total queued packets.
+func (s *Priority) Len() int { return s.High.Len() + s.Low.Len() }
+
+// SingleFIFO adapts a FIFO to the Scheduler interface (a best-effort
+// only interface).
+type SingleFIFO struct{ Q FIFO }
+
+// NewSingleFIFO returns a FIFO scheduler with the given packet limit.
+func NewSingleFIFO(limit int) *SingleFIFO {
+	return &SingleFIFO{Q: FIFO{MaxPackets: limit}}
+}
+
+// Enqueue admits p.
+func (s *SingleFIFO) Enqueue(p *packet.Packet) bool { return s.Q.Push(p) }
+
+// Dequeue removes the head packet.
+func (s *SingleFIFO) Dequeue() *packet.Packet { return s.Q.Pop() }
+
+// Len reports queued packets.
+func (s *SingleFIFO) Len() int { return s.Q.Len() }

@@ -1,0 +1,179 @@
+package queue
+
+import (
+	"math"
+
+	"repro/internal/packet"
+)
+
+// REDConfig parameterizes Random Early Detection (Floyd & Jacobson).
+type REDConfig struct {
+	MinTh   float64 // average queue length (packets) below which no drops
+	MaxTh   float64 // average above which all arrivals drop
+	MaxP    float64 // drop probability at MaxTh
+	Wq      float64 // EWMA weight for the average queue estimate
+	MaxSize int     // hard buffer limit in packets
+}
+
+// DefaultREDConfig mirrors the classic 1993 recommendations scaled for
+// a small router buffer.
+func DefaultREDConfig() REDConfig {
+	return REDConfig{MinTh: 5, MaxTh: 15, MaxP: 0.1, Wq: 0.002, MaxSize: 60}
+}
+
+// RED is a single-class RED queue. Randomness comes from an injected
+// source so experiments stay deterministic.
+type RED struct {
+	cfg   REDConfig
+	rand  func() float64
+	fifo  FIFO
+	avg   float64
+	count int // packets since last drop, for the uniformization trick
+
+	Enqueued    int
+	EarlyDrops  int
+	ForcedDrops int
+}
+
+// NewRED returns a RED queue using cfg and the given uniform [0,1)
+// source.
+func NewRED(cfg REDConfig, rand func() float64) *RED {
+	if rand == nil {
+		panic("queue: RED needs a random source")
+	}
+	r := &RED{cfg: cfg, rand: rand, count: -1}
+	r.fifo.MaxPackets = cfg.MaxSize
+	return r
+}
+
+// AvgQueue reports the current EWMA queue estimate.
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// Len reports the instantaneous queue length.
+func (r *RED) Len() int { return r.fifo.Len() }
+
+// Enqueue applies the RED drop test and admits p if it survives.
+func (r *RED) Enqueue(p *packet.Packet) bool {
+	r.avg = (1-r.cfg.Wq)*r.avg + r.cfg.Wq*float64(r.fifo.Len())
+	switch {
+	case r.avg < r.cfg.MinTh:
+		r.count = -1
+	case r.avg >= r.cfg.MaxTh:
+		r.ForcedDrops++
+		r.count = 0
+		return false
+	default:
+		r.count++
+		pb := r.cfg.MaxP * (r.avg - r.cfg.MinTh) / (r.cfg.MaxTh - r.cfg.MinTh)
+		pa := pb / math.Max(1e-9, 1-float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.rand() < pa {
+			r.EarlyDrops++
+			r.count = 0
+			return false
+		}
+	}
+	if !r.fifo.Push(p) {
+		r.ForcedDrops++
+		return false
+	}
+	r.Enqueued++
+	return true
+}
+
+// Dequeue removes the head packet.
+func (r *RED) Dequeue() *packet.Packet { return r.fifo.Pop() }
+
+// RIO ("RED with In and Out") gives marked-in (green) packets a more
+// permissive RED profile than out-of-profile (yellow/red) packets in
+// the same physical queue — the droppers behind the AF PHB group.
+type RIO struct {
+	in   REDConfig
+	out  REDConfig
+	rand func() float64
+
+	fifo              FIFO
+	avgIn             float64 // average of in-profile packets only
+	avgAll            float64
+	countIn, countOut int
+
+	inQueued int // in-profile packets currently queued
+
+	Enqueued int
+	DropsIn  int
+	DropsOut int
+}
+
+// NewRIO returns a RIO queue. in should be more permissive than out.
+func NewRIO(in, out REDConfig, rand func() float64) *RIO {
+	if rand == nil {
+		panic("queue: RIO needs a random source")
+	}
+	r := &RIO{in: in, out: out, rand: rand, countIn: -1, countOut: -1}
+	r.fifo.MaxPackets = in.MaxSize
+	return r
+}
+
+// Len reports the instantaneous queue length.
+func (r *RIO) Len() int { return r.fifo.Len() }
+
+func redTest(avg float64, cfg REDConfig, count *int, rand func() float64) bool {
+	switch {
+	case avg < cfg.MinTh:
+		*count = -1
+		return false
+	case avg >= cfg.MaxTh:
+		*count = 0
+		return true
+	default:
+		*count++
+		pb := cfg.MaxP * (avg - cfg.MinTh) / (cfg.MaxTh - cfg.MinTh)
+		pa := pb / math.Max(1e-9, 1-float64(*count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if rand() < pa {
+			*count = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Enqueue admits p using the in profile for green packets and the out
+// profile (driven by the total average) otherwise.
+func (r *RIO) Enqueue(p *packet.Packet) bool {
+	in := p.Color == packet.Green
+	r.avgAll = (1-r.out.Wq)*r.avgAll + r.out.Wq*float64(r.fifo.Len())
+	r.avgIn = (1-r.in.Wq)*r.avgIn + r.in.Wq*float64(r.inQueued)
+	var dropped bool
+	if in {
+		dropped = redTest(r.avgIn, r.in, &r.countIn, r.rand)
+	} else {
+		dropped = redTest(r.avgAll, r.out, &r.countOut, r.rand)
+	}
+	if dropped || !r.fifo.Push(p) {
+		if in {
+			r.DropsIn++
+		} else {
+			r.DropsOut++
+		}
+		return false
+	}
+	if in {
+		r.inQueued++
+	}
+	r.Enqueued++
+	return true
+}
+
+// Dequeue removes the head packet.
+func (r *RIO) Dequeue() *packet.Packet {
+	p := r.fifo.Pop()
+	if p != nil && p.Color == packet.Green {
+		r.inQueued--
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestREDNoDropsWhenIdle(t *testing.T) {
+	rng := sim.NewRNG(1)
+	r := NewRED(DefaultREDConfig(), rng.Float64)
+	// Alternate enqueue/dequeue: average queue stays ~0.
+	for i := 0; i < 1000; i++ {
+		if !r.Enqueue(pk(1500, 0)) {
+			t.Fatal("RED dropped at empty queue")
+		}
+		r.Dequeue()
+	}
+	if r.EarlyDrops != 0 || r.ForcedDrops != 0 {
+		t.Errorf("drops at idle: early=%d forced=%d", r.EarlyDrops, r.ForcedDrops)
+	}
+}
+
+func TestREDDropsUnderSustainedLoad(t *testing.T) {
+	rng := sim.NewRNG(2)
+	r := NewRED(DefaultREDConfig(), rng.Float64)
+	drops := 0
+	for i := 0; i < 2000; i++ {
+		// Two arrivals per departure: queue builds.
+		if !r.Enqueue(pk(1500, 0)) {
+			drops++
+		}
+		if !r.Enqueue(pk(1500, 0)) {
+			drops++
+		}
+		r.Dequeue()
+	}
+	if drops == 0 {
+		t.Error("RED never dropped under overload")
+	}
+	if r.Len() > DefaultREDConfig().MaxSize {
+		t.Errorf("queue exceeded hard limit: %d", r.Len())
+	}
+}
+
+func TestREDAverageTracksQueue(t *testing.T) {
+	rng := sim.NewRNG(3)
+	cfg := DefaultREDConfig()
+	cfg.Wq = 0.5 // fast EWMA for the test
+	r := NewRED(cfg, rng.Float64)
+	for i := 0; i < 10; i++ {
+		r.Enqueue(pk(1, 0))
+	}
+	if r.AvgQueue() <= 0 {
+		t.Error("average did not rise")
+	}
+}
+
+func TestREDNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRED(DefaultREDConfig(), nil)
+}
+
+func TestRIOProtectsGreen(t *testing.T) {
+	rng := sim.NewRNG(4)
+	in := REDConfig{MinTh: 40, MaxTh: 55, MaxP: 0.02, Wq: 0.02, MaxSize: 60}
+	out := REDConfig{MinTh: 5, MaxTh: 15, MaxP: 0.5, Wq: 0.02, MaxSize: 60}
+	r := NewRIO(in, out, rng.Float64)
+	greenDrops, yellowDrops := 0, 0
+	for i := 0; i < 4000; i++ {
+		g := pk(1500, packet.AF11)
+		g.Color = packet.Green
+		y := pk(1500, packet.AF12)
+		y.Color = packet.Yellow
+		if !r.Enqueue(g) {
+			greenDrops++
+		}
+		if !r.Enqueue(y) {
+			yellowDrops++
+		}
+		r.Dequeue()
+	}
+	if yellowDrops == 0 {
+		t.Fatal("out-of-profile traffic never dropped under overload")
+	}
+	if greenDrops*5 > yellowDrops {
+		t.Errorf("green not protected: green=%d yellow=%d", greenDrops, yellowDrops)
+	}
+	if r.DropsIn != greenDrops || r.DropsOut != yellowDrops {
+		t.Errorf("counters: in=%d out=%d", r.DropsIn, r.DropsOut)
+	}
+}
+
+func TestRIODequeueTracksGreenCount(t *testing.T) {
+	rng := sim.NewRNG(5)
+	r := NewRIO(DefaultREDConfig(), DefaultREDConfig(), rng.Float64)
+	g := pk(1, packet.AF11)
+	g.Color = packet.Green
+	r.Enqueue(g)
+	if r.inQueued != 1 {
+		t.Fatalf("inQueued = %d", r.inQueued)
+	}
+	r.Dequeue()
+	if r.inQueued != 0 {
+		t.Errorf("inQueued after dequeue = %d", r.inQueued)
+	}
+}

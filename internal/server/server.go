@@ -1,0 +1,414 @@
+// Package server implements the streaming servers whose behaviours the
+// paper contrasts (§2.2, §4):
+//
+//   - Paced: the IBM VideoCharger™ profile — small application
+//     messages, transmission of each frame paced across the frame
+//     interval. Used for the QBone experiments.
+//   - Burst: the Microsoft Netshow Theater™ / 2netfx ThunderCastIP™
+//     profile — application datagrams up to 16280 bytes that the IP
+//     stack fragments into back-to-back 1500-byte packets, plus the
+//     naive rate-adaptation loop that misreads policing losses and
+//     spirals (the paper found these servers unusable behind an EF
+//     policer and excluded them from the main experiments).
+//   - WMT: the Windows Media™ profile — capped-VBR content, reduced
+//     message sizes that fit single packets, streamed over UDP (bursty)
+//     or over TCP with server-side stream thinning. Used for the local
+//     testbed experiments.
+package server
+
+import (
+	"repro/internal/client"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// UDPHeader is the IP+UDP overhead added to each application message.
+const UDPHeader = 28
+
+// MaxUDPPayload is the payload that fits one Ethernet MTU.
+const MaxUDPPayload = units.EthernetMTU - UDPHeader
+
+var idCounter uint64
+
+func nextID() uint64 {
+	idCounter++
+	return idCounter
+}
+
+// Paced streams an encoding over UDP, sending each frame's packets
+// evenly spaced across a fraction of the frame interval — the
+// transmission pacing that made the VideoCharger usable behind an EF
+// policer.
+type Paced struct {
+	Sim  *sim.Simulator
+	Enc  *video.Encoding
+	Flow packet.FlowID
+	Next packet.Handler
+
+	// MsgSize is the application message payload per packet; the
+	// VideoCharger "allows smaller message sizes" (§2.2). Default:
+	// one MTU's worth.
+	MsgSize int
+	// PaceSpread is the fraction of the frame interval across which a
+	// frame's packets are spread (default 0.85).
+	PaceSpread float64
+
+	Sent      int
+	SentBytes int64
+}
+
+// Start schedules the whole clip's transmission.
+func (s *Paced) Start() {
+	if s.MsgSize <= 0 {
+		s.MsgSize = MaxUDPPayload
+	}
+	if s.PaceSpread <= 0 {
+		s.PaceSpread = 0.95
+	}
+	interval := video.FrameInterval()
+	for i := range s.Enc.Frames {
+		i := i
+		s.Sim.At(s.Sim.Now()+units.Time(int64(i))*interval, func() { s.sendFrame(i) })
+	}
+}
+
+func (s *Paced) sendFrame(i int) {
+	size := s.Enc.Frames[i].Size
+	frags := (size + s.MsgSize - 1) / s.MsgSize
+	if frags == 0 {
+		frags = 1
+	}
+	interval := video.FrameInterval()
+	spread := units.Time(float64(interval) * s.PaceSpread)
+	for j := 0; j < frags; j++ {
+		payload := s.MsgSize
+		if j == frags-1 {
+			payload = size - (frags-1)*s.MsgSize
+		}
+		p := &packet.Packet{
+			ID: nextID(), Flow: s.Flow, Proto: packet.UDP,
+			Size:     payload + UDPHeader,
+			FrameSeq: i, FragIndex: j, FragCount: frags,
+		}
+		var at units.Time
+		if frags > 1 {
+			at = units.Time(int64(spread) * int64(j) / int64(frags))
+		}
+		s.Sim.After(at, func() {
+			p.SentAt = s.Sim.Now()
+			s.Sent++
+			s.SentBytes += int64(p.Size)
+			s.Next.Handle(p)
+		})
+	}
+}
+
+// MaxDatagram is the largest application datagram the bursty servers
+// generate (§2.2: "up to 16280 bytes long").
+const MaxDatagram = 16280
+
+// Burst streams an encoding the way the large-datagram servers did:
+// each frame becomes one application datagram (up to MaxDatagram)
+// whose IP fragments leave the host back-to-back at the access-link
+// rate. Its Adaptation loop reproduces the §4 death spiral: policing
+// losses with low delivery delay are read as "more bandwidth needed",
+// the rate multiplier rises, losses get worse, and the server
+// eventually collapses to a minimal rate and starts over.
+type Burst struct {
+	Sim      *sim.Simulator
+	Enc      *video.Encoding
+	Flow     packet.FlowID
+	Next     packet.Handler
+	HostRate units.BitRate // NIC serialization rate; default 100 Mbps
+
+	// Adaptation configuration.
+	Adapt          bool
+	FeedbackEvery  units.Time // default 1 s
+	lossProbe      func() (lossFrac float64, avgDelay units.Time)
+	rateMultiplier float64
+
+	Sent        int
+	SentBytes   int64
+	Multipliers []float64 // rate multiplier history, one per feedback tick
+
+	frame int
+}
+
+// SetFeedback wires the client-side probe the adaptation loop polls.
+func (b *Burst) SetFeedback(probe func() (float64, units.Time)) { b.lossProbe = probe }
+
+// Start schedules the transmission.
+func (b *Burst) Start() {
+	if b.HostRate <= 0 {
+		b.HostRate = 100 * units.Mbps
+	}
+	if b.FeedbackEvery <= 0 {
+		b.FeedbackEvery = units.Second
+	}
+	b.rateMultiplier = 1
+	interval := video.FrameInterval()
+	for i := range b.Enc.Frames {
+		i := i
+		b.Sim.At(b.Sim.Now()+units.Time(int64(i))*interval, func() { b.sendFrame(i) })
+	}
+	if b.Adapt && b.lossProbe != nil {
+		b.Sim.After(b.FeedbackEvery, b.adaptTick)
+	}
+}
+
+func (b *Burst) adaptTick() {
+	loss, delay := b.lossProbe()
+	switch {
+	case loss > 0.35:
+		// Catastrophic: back way off, then start climbing again.
+		b.rateMultiplier = 0.3
+	case loss > 0.005 && delay < 50*units.Millisecond:
+		// Losses but fast delivery: the EF guarantee confuses the
+		// estimator into believing bandwidth is plentiful, so it
+		// *raises* the rate to "make up for the losses".
+		b.rateMultiplier *= 1.25
+		if b.rateMultiplier > 2.5 {
+			b.rateMultiplier = 2.5
+		}
+	case loss == 0:
+		// Creep back toward nominal.
+		b.rateMultiplier = 0.8*b.rateMultiplier + 0.2
+	}
+	b.Multipliers = append(b.Multipliers, b.rateMultiplier)
+	b.Sim.After(b.FeedbackEvery, b.adaptTick)
+}
+
+func (b *Burst) sendFrame(i int) {
+	size := int(float64(b.Enc.Frames[i].Size) * b.rateMultiplier)
+	if size < 200 {
+		size = 200
+	}
+	// Split the frame into application datagrams; each datagram is
+	// fragmented by the IP stack into MTU-sized packets that leave
+	// back-to-back at the host NIC rate. One lost fragment loses the
+	// datagram, and hence the frame.
+	frags := 0
+	remaining := size
+	for remaining > 0 {
+		dg := remaining
+		if dg > MaxDatagram {
+			dg = MaxDatagram
+		}
+		frags += (dg + MaxUDPPayload - 1) / MaxUDPPayload
+		remaining -= dg
+	}
+	if frags == 0 {
+		frags = 1
+	}
+	var at units.Time
+	sent := 0
+	remaining = size
+	for remaining > 0 {
+		payload := remaining
+		if payload > MaxUDPPayload {
+			payload = MaxUDPPayload
+		}
+		p := &packet.Packet{
+			ID: nextID(), Flow: b.Flow, Proto: packet.UDP,
+			Size:     payload + UDPHeader,
+			FrameSeq: i, FragIndex: sent, FragCount: frags,
+		}
+		b.Sim.After(at, func() {
+			p.SentAt = b.Sim.Now()
+			b.Sent++
+			b.SentBytes += int64(p.Size)
+			b.Next.Handle(p)
+		})
+		at += b.HostRate.TxTime(p.Size)
+		sent++
+		remaining -= payload
+	}
+	b.frame = i
+}
+
+// WMTUDP streams a capped-VBR encoding over UDP with reduced message
+// sizes (each message fits one packet), but sends each frame's packets
+// back-to-back at the host rate — the burstiness that made local UDP
+// streaming "too bursty to allow meaningful experimentation" (§4.2).
+type WMTUDP struct {
+	Sim      *sim.Simulator
+	Enc      *video.Encoding
+	Flow     packet.FlowID
+	Next     packet.Handler
+	HostRate units.BitRate // default 10 Mbps Ethernet
+
+	Sent      int
+	SentBytes int64
+}
+
+// Start schedules the transmission.
+func (s *WMTUDP) Start() {
+	if s.HostRate <= 0 {
+		s.HostRate = 10 * units.Mbps
+	}
+	interval := video.FrameInterval()
+	for i := range s.Enc.Frames {
+		i := i
+		s.Sim.At(s.Sim.Now()+units.Time(int64(i))*interval, func() { s.sendFrame(i) })
+	}
+}
+
+func (s *WMTUDP) sendFrame(i int) {
+	size := s.Enc.Frames[i].Size
+	frags := (size + MaxUDPPayload - 1) / MaxUDPPayload
+	if frags == 0 {
+		frags = 1
+	}
+	var at units.Time
+	for j := 0; j < frags; j++ {
+		payload := MaxUDPPayload
+		if j == frags-1 {
+			payload = size - (frags-1)*MaxUDPPayload
+		}
+		p := &packet.Packet{
+			ID: nextID(), Flow: s.Flow, Proto: packet.UDP,
+			Size:     payload + UDPHeader,
+			FrameSeq: i, FragIndex: j, FragCount: frags,
+		}
+		s.Sim.After(at, func() {
+			p.SentAt = s.Sim.Now()
+			s.Sent++
+			s.SentBytes += int64(p.Size)
+			s.Next.Handle(p)
+		})
+		at += s.HostRate.TxTime(p.Size)
+	}
+}
+
+// WMTTCP streams a capped-VBR encoding over the simulated TCP
+// connection, with server-side stream thinning: when the unsent
+// backlog exceeds ThinningBacklog (the connection cannot sustain the
+// encoding rate), frames are skipped instead of queued, which is how
+// the real server kept a live stream live. Thinned frames are the
+// "lost frames" of the TCP experiments.
+type WMTTCP struct {
+	Sim    *sim.Simulator
+	Enc    *video.Encoding
+	Sender *tcpsim.Sender
+	Asm    *client.StreamAssembler
+
+	// ThinningBacklog in bytes of queued-but-unsent data above which
+	// frames are dropped. A streaming server must stay "live", so the
+	// default is only half a second of content at the encoding cap —
+	// once the connection falls further behind than that, frames are
+	// skipped rather than queued.
+	ThinningBacklog int64
+
+	FramesSent    int
+	FramesThinned int
+}
+
+// Start schedules the clip's frame writes.
+func (s *WMTTCP) Start() {
+	if s.ThinningBacklog == 0 {
+		s.ThinningBacklog = int64(float64(s.Enc.Target) / 8 / 2)
+	}
+	interval := video.FrameInterval()
+	for i := range s.Enc.Frames {
+		i := i
+		s.Sim.At(s.Sim.Now()+units.Time(int64(i))*interval, func() { s.writeFrame(i) })
+	}
+}
+
+func (s *WMTTCP) writeFrame(i int) {
+	if s.Sender.Backlog() > s.ThinningBacklog {
+		s.FramesThinned++
+		return
+	}
+	length := int64(s.Enc.Frames[i].Size + client.FrameHeaderSize)
+	s.Asm.RegisterMessage(i, length)
+	s.FramesSent++
+	s.Sender.Write(length)
+}
+
+// Adaptive selects among multiple encodings of the same clip (the WMV
+// multi-rate feature, §2.2/§3.3.2) based on client loss feedback, and
+// streams the current selection frame by frame over UDP with pacing.
+// It demonstrates "intelligent streaming": unlike Burst's estimator it
+// treats loss as congestion and steps *down*.
+type Adaptive struct {
+	Sim  *sim.Simulator
+	Encs []*video.Encoding // ordered low rate -> high rate
+	Flow packet.FlowID
+	Next packet.Handler
+
+	FeedbackEvery units.Time
+	lossProbe     func() float64
+
+	level    int
+	Switches int
+	Sent     int
+	Levels   []int // level history per feedback tick
+}
+
+// SetFeedback wires the loss probe.
+func (a *Adaptive) SetFeedback(probe func() float64) { a.lossProbe = probe }
+
+// Level reports the current encoding level.
+func (a *Adaptive) Level() int { return a.level }
+
+// Start begins streaming at the highest level.
+func (a *Adaptive) Start() {
+	if a.FeedbackEvery <= 0 {
+		a.FeedbackEvery = units.Second
+	}
+	a.level = len(a.Encs) - 1
+	interval := video.FrameInterval()
+	n := a.Encs[0].Clip.FrameCount()
+	for i := 0; i < n; i++ {
+		i := i
+		a.Sim.At(a.Sim.Now()+units.Time(int64(i))*interval, func() { a.sendFrame(i) })
+	}
+	if a.lossProbe != nil {
+		a.Sim.After(a.FeedbackEvery, a.adaptTick)
+	}
+}
+
+func (a *Adaptive) adaptTick() {
+	loss := a.lossProbe()
+	switch {
+	case loss > 0.02 && a.level > 0:
+		a.level--
+		a.Switches++
+	case loss < 0.002 && a.level < len(a.Encs)-1:
+		a.level++
+		a.Switches++
+	}
+	a.Levels = append(a.Levels, a.level)
+	a.Sim.After(a.FeedbackEvery, a.adaptTick)
+}
+
+func (a *Adaptive) sendFrame(i int) {
+	enc := a.Encs[a.level]
+	size := enc.Frames[i].Size
+	frags := (size + MaxUDPPayload - 1) / MaxUDPPayload
+	if frags == 0 {
+		frags = 1
+	}
+	interval := video.FrameInterval()
+	for j := 0; j < frags; j++ {
+		payload := MaxUDPPayload
+		if j == frags-1 {
+			payload = size - (frags-1)*MaxUDPPayload
+		}
+		p := &packet.Packet{
+			ID: nextID(), Flow: a.Flow, Proto: packet.UDP,
+			Size:     payload + UDPHeader,
+			FrameSeq: i, FragIndex: j, FragCount: frags,
+		}
+		at := units.Time(int64(interval) * 8 / 10 * int64(j) / int64(frags))
+		a.Sim.After(at, func() {
+			p.SentAt = a.Sim.Now()
+			a.Sent++
+			a.Next.Handle(p)
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a priority queue of timestamped
+// events. Components schedule closures with At or After; Run drains the
+// queue in (time, sequence) order so that two events scheduled for the
+// same instant fire in scheduling order, which keeps every experiment
+// bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	when   units.Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times
+// and after the event has fired (then it is a no-op).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+// When reports the simulated time the event is scheduled for.
+func (e *Event) When() units.Time { return e.when }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the event queue, the virtual clock, and the run's
+// random number source. The zero value is not usable; call New.
+type Simulator struct {
+	now    units.Time
+	queue  eventQueue
+	seq    uint64
+	rng    *RNG
+	fired  uint64
+	maxT   units.Time // horizon; 0 means none
+	halted bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events remain queued (including cancelled
+// ones that have not been reaped yet).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in
+// the past panics: that is always a logic error in a discrete-event
+// model and silently reordering time would corrupt the run.
+func (s *Simulator) At(t units.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d units.Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops Run before the next event fires. Intended to be called
+// from inside an event callback.
+func (s *Simulator) Halt() { s.halted = true }
+
+// SetHorizon makes Run stop once the clock would pass t. Zero removes
+// the horizon.
+func (s *Simulator) SetHorizon(t units.Time) { s.maxT = t }
+
+// Run executes events until the queue is empty, the horizon passes, or
+// Halt is called. It returns the final simulated time.
+func (s *Simulator) Run() units.Time {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		// Peek: an event beyond the horizon must stay queued so a
+		// later Run/RunUntil can still execute it.
+		if s.maxT > 0 && s.queue[0].when > s.maxT {
+			if s.now < s.maxT {
+				s.now = s.maxT
+			}
+			return s.now
+		}
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil executes events with a horizon of t, then restores the
+// previous horizon.
+func (s *Simulator) RunUntil(t units.Time) units.Time {
+	old := s.maxT
+	s.maxT = t
+	defer func() { s.maxT = old }()
+	return s.Run()
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*units.Millisecond, func() { order = append(order, 3) })
+	s.At(10*units.Millisecond, func() { order = append(order, 1) })
+	s.At(20*units.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*units.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	// Events at the same instant fire in scheduling order, the
+	// property determinism rests on.
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(units.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(units.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(units.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestAfterFromWithinEvent(t *testing.T) {
+	s := New(1)
+	var at units.Time
+	s.After(units.Second, func() {
+		s.After(500*units.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 1500*units.Millisecond {
+		t.Errorf("nested After fired at %v", at)
+	}
+}
+
+// TestHorizonKeepsFutureEvents is the regression test for the
+// pop-and-drop horizon bug: an event beyond a RunUntil horizon must
+// survive to a later Run call.
+func TestHorizonKeepsFutureEvents(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(2*units.Second, func() { fired = true })
+	s.RunUntil(units.Second)
+	if fired {
+		t.Fatal("event fired before its time")
+	}
+	if s.Now() != units.Second {
+		t.Fatalf("Now = %v after RunUntil(1s)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(3 * units.Second)
+	if !fired {
+		t.Fatal("event lost across RunUntil boundary")
+	}
+}
+
+func TestRunUntilRepeatedBoundaries(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 50 {
+			s.After(100*units.Millisecond, tick)
+		}
+	}
+	s.After(100*units.Millisecond, tick)
+	for sec := 1; sec <= 6; sec++ {
+		s.RunUntil(units.Time(sec) * units.Second)
+	}
+	if count != 50 {
+		t.Errorf("count = %d, want 50", count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		s.At(units.Time(i)*units.Second, func() {
+			n++
+			if n == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	// A subsequent Run resumes the remaining events.
+	s.Run()
+	if n != 10 {
+		t.Errorf("after resume n = %d, want 10", n)
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(units.Time(i)*units.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Errorf("Fired = %d", s.Fired())
+	}
+}

@@ -1,0 +1,241 @@
+// Package stats provides the summary statistics the measurement
+// harness reports: running moments, percentiles, histograms, and
+// per-packet delay/jitter collectors for characterizing what the EF
+// service actually delivered (the network-level side of the paper's
+// quality story: small delay and jitter inside the EF aggregate).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// Summary accumulates running moments plus the full sample set for
+// exact percentiles. For the experiment sizes in this repository
+// (≤ a few hundred thousand samples) keeping samples is cheap and
+// avoids quantile-sketch approximations.
+type Summary struct {
+	samples []float64
+	sum     float64
+	sumSq   float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sumSq += v * v
+	s.sorted = false
+}
+
+// N reports the sample count.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean reports the sample mean (0 for no samples).
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Var reports the population variance.
+func (s *Summary) Var() float64 {
+	n := float64(len(s.samples))
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/n - m*m
+	if v < 0 {
+		v = 0 // float cancellation guard
+	}
+	return v
+}
+
+// Stddev reports the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest sample (0 for none).
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max reports the largest sample (0 for none).
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest ranks.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return s.samples[n-1]
+	}
+	return s.samples[lo]*(1-frac) + s.samples[lo+1]*frac
+}
+
+// CI95 reports the half-width of the 95% confidence interval of the
+// mean under the normal approximation.
+func (s *Summary) CI95() float64 {
+	n := float64(len(s.samples))
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(n)
+}
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Stddev(), s.Min(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Histogram counts samples into fixed-width bins over [Lo, Hi); out of
+// range samples land in the clamping edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	count  int
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+	h.count++
+}
+
+// N reports total samples.
+func (h *Histogram) N() int { return h.count }
+
+// Fraction reports the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.count)
+}
+
+// Render draws a crude text histogram.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	for _, b := range h.Bins {
+		if b > max {
+			max = b
+		}
+	}
+	var out strings.Builder
+	binW := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, b := range h.Bins {
+		bar := 0
+		if max > 0 {
+			bar = b * width / max
+		}
+		fmt.Fprintf(&out, "%10.4g |%s %d\n", h.Lo+float64(i)*binW, strings.Repeat("#", bar), b)
+	}
+	return out.String()
+}
+
+// DelayCollector is a packet.Handler wrapper that records one-way
+// delay (now minus SentAt) and inter-arrival jitter of everything
+// passing through it, then forwards to Next.
+type DelayCollector struct {
+	Clock interface{ Now() units.Time }
+	Next  packet.Handler
+
+	// Match restricts measurement to matching packets (everything is
+	// still forwarded). nil measures every packet.
+	Match func(*packet.Packet) bool
+
+	Delay  Summary // seconds
+	Jitter Summary // seconds, |gap - prevGap| (RFC 3550 style, unsmoothed)
+
+	lastArrival units.Time
+	lastGap     units.Time
+	haveGap     bool
+	haveArrival bool
+}
+
+// Handle records and forwards p.
+func (d *DelayCollector) Handle(p *packet.Packet) {
+	if d.Match != nil && !d.Match(p) {
+		if d.Next != nil {
+			d.Next.Handle(p)
+		}
+		return
+	}
+	now := d.Clock.Now()
+	if p.SentAt > 0 || p.ID != 0 {
+		d.Delay.Add((now - p.SentAt).Seconds())
+	}
+	if d.haveArrival {
+		gap := now - d.lastArrival
+		if d.haveGap {
+			diff := gap - d.lastGap
+			if diff < 0 {
+				diff = -diff
+			}
+			d.Jitter.Add(diff.Seconds())
+		}
+		d.lastGap = gap
+		d.haveGap = true
+	}
+	d.lastArrival = now
+	d.haveArrival = true
+	if d.Next != nil {
+		d.Next.Handle(p)
+	}
+}

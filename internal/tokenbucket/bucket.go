@@ -1,0 +1,118 @@
+// Package tokenbucket implements the traffic conditioning elements the
+// paper's experiments revolve around: the token bucket itself, a
+// dropping policer, a delaying shaper, and the RFC 2697/2698 single-
+// and two-rate three-color markers used for Assured Forwarding.
+//
+// Token arithmetic is done in integer token-nanoseconds so that two
+// runs of the same experiment produce identical conformance decisions:
+// a bucket of depth B bytes filling at R bits/s holds B*8e9/R
+// "credit-nanoseconds", and a packet of size S bytes costs S*8e9/R.
+// Working in this space avoids float drift across millions of packets.
+package tokenbucket
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Bucket is a classic token bucket: tokens (bytes of credit) arrive at
+// Rate up to Depth. Conform(n) answers whether n bytes may pass now and
+// debits them if so. The zero value is unusable; call NewBucket.
+type Bucket struct {
+	rate  units.BitRate
+	depth units.ByteSize
+
+	// tokens are tracked as bytes scaled by 1e9 (i.e. byte-nanoseconds
+	// of credit at 1 B/ns) to keep refill exact under integer math.
+	scaled     int64 // current credit, in 1e-9 bytes
+	scaledMax  int64
+	lastUpdate units.Time
+}
+
+const tokenScale = 1e9
+
+// NewBucket returns a bucket that starts full, which matches both the
+// router implementations in the paper's testbed and RFC 2697/2698.
+func NewBucket(rate units.BitRate, depth units.ByteSize) *Bucket {
+	if rate <= 0 {
+		panic("tokenbucket: non-positive rate")
+	}
+	if depth <= 0 {
+		panic("tokenbucket: non-positive depth")
+	}
+	b := &Bucket{rate: rate, depth: depth}
+	b.scaledMax = int64(depth) * tokenScale
+	b.scaled = b.scaledMax
+	return b
+}
+
+// Rate reports the token arrival rate.
+func (b *Bucket) Rate() units.BitRate { return b.rate }
+
+// Depth reports the bucket depth in bytes.
+func (b *Bucket) Depth() units.ByteSize { return b.depth }
+
+// refill advances the bucket state to time now.
+func (b *Bucket) refill(now units.Time) {
+	if now <= b.lastUpdate {
+		return
+	}
+	dt := now - b.lastUpdate
+	b.lastUpdate = now
+	// bytes/ns = rate/8e9; scaled credit gained = dt * rate/8 (in 1e-9 B).
+	gain := int64(float64(dt) * float64(b.rate) / 8)
+	b.scaled += gain
+	if b.scaled > b.scaledMax {
+		b.scaled = b.scaledMax
+	}
+}
+
+// Tokens reports the whole bytes of credit available at time now.
+func (b *Bucket) Tokens(now units.Time) int64 {
+	b.refill(now)
+	return b.scaled / tokenScale
+}
+
+// Conform reports whether n bytes conform at time now, debiting the
+// bucket if they do. Packets larger than the bucket depth can never
+// conform (the EF small-depth pathology the paper studies).
+func (b *Bucket) Conform(now units.Time, n int) bool {
+	b.refill(now)
+	need := int64(n) * tokenScale
+	if need > b.scaled {
+		return false
+	}
+	b.scaled -= need
+	return true
+}
+
+// Debit unconditionally removes n bytes of credit (may go negative);
+// used by shapers that have already committed to sending.
+func (b *Bucket) Debit(now units.Time, n int) {
+	b.refill(now)
+	b.scaled -= int64(n) * tokenScale
+}
+
+// NextConformTime reports the earliest time ≥ now at which n bytes
+// would conform, assuming no intervening debits. If n exceeds the
+// depth it reports ok=false: the packet can never conform.
+func (b *Bucket) NextConformTime(now units.Time, n int) (t units.Time, ok bool) {
+	if int64(n) > int64(b.depth) {
+		return 0, false
+	}
+	b.refill(now)
+	need := int64(n)*tokenScale - b.scaled
+	if need <= 0 {
+		return now, true
+	}
+	// wait = need / (rate/8) nanoseconds, rounded up.
+	rateScaled := float64(b.rate) / 8 // 1e-9 B per ns
+	wait := units.Time(float64(need)/rateScaled) + 1
+	return now + wait, true
+}
+
+// String describes the bucket configuration.
+func (b *Bucket) String() string {
+	return fmt.Sprintf("bucket{r=%v b=%v}", b.rate, b.depth)
+}

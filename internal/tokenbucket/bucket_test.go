@@ -1,0 +1,160 @@
+package tokenbucket
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestBucketStartsFull(t *testing.T) {
+	b := NewBucket(1*units.Mbps, 3000)
+	if got := b.Tokens(0); got != 3000 {
+		t.Errorf("initial tokens = %d, want 3000", got)
+	}
+	if !b.Conform(0, 3000) {
+		t.Error("full bucket rejected a depth-sized packet")
+	}
+	if b.Conform(0, 1) {
+		t.Error("empty bucket accepted a packet")
+	}
+}
+
+func TestBucketRefillExact(t *testing.T) {
+	// 8 Mbps = 1 byte per microsecond.
+	b := NewBucket(8*units.Mbps, 10000)
+	b.Conform(0, 10000) // drain
+	if got := b.Tokens(1500 * units.Microsecond); got != 1500 {
+		t.Errorf("tokens after 1.5ms = %d, want 1500", got)
+	}
+}
+
+func TestBucketCapsAtDepth(t *testing.T) {
+	b := NewBucket(8*units.Mbps, 3000)
+	if got := b.Tokens(time10s()); got != 3000 {
+		t.Errorf("tokens = %d, want cap 3000", got)
+	}
+}
+
+func time10s() units.Time { return 10 * units.Second }
+
+func TestOversizedPacketNeverConforms(t *testing.T) {
+	b := NewBucket(10*units.Mbps, 3000)
+	if b.Conform(0, 3001) {
+		t.Error("packet larger than depth conformed")
+	}
+	if _, ok := b.NextConformTime(0, 3001); ok {
+		t.Error("NextConformTime claims an oversized packet can conform")
+	}
+}
+
+func TestNextConformTime(t *testing.T) {
+	b := NewBucket(8*units.Mbps, 3000) // 1 B/µs
+	b.Conform(0, 3000)
+	at, ok := b.NextConformTime(0, 1500)
+	if !ok {
+		t.Fatal("NextConformTime not ok")
+	}
+	want := 1500 * units.Microsecond
+	if at < want || at > want+units.Microsecond {
+		t.Errorf("NextConformTime = %v, want ≈%v", at, want)
+	}
+	// And the packet must actually conform then.
+	if !b.Conform(at, 1500) {
+		t.Error("packet did not conform at NextConformTime")
+	}
+}
+
+func TestNextConformTimeImmediate(t *testing.T) {
+	b := NewBucket(units.Mbps, 3000)
+	at, ok := b.NextConformTime(5*units.Second, 1000)
+	if !ok || at != 5*units.Second {
+		t.Errorf("immediate conform: at=%v ok=%v", at, ok)
+	}
+}
+
+func TestDebitGoesNegative(t *testing.T) {
+	b := NewBucket(8*units.Mbps, 3000)
+	b.Debit(0, 5000)
+	if b.Conform(0, 1) {
+		t.Error("negative bucket conformed")
+	}
+	// After enough refill it recovers: 5000 deficit + 1 byte.
+	if !b.Conform(5200*units.Microsecond, 1) {
+		t.Error("bucket did not recover from negative credit")
+	}
+}
+
+func TestBucketRateDepthAccessors(t *testing.T) {
+	b := NewBucket(2*units.Mbps, 4500)
+	if b.Rate() != 2*units.Mbps || b.Depth() != 4500 {
+		t.Errorf("accessors: %v %v", b.Rate(), b.Depth())
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBucketPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBucket(0, 100) },
+		func() { NewBucket(units.Mbps, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBucketLongRunRate checks the fundamental policer property: over
+// a long window, the bytes admitted by a saturated bucket converge to
+// rate*time + depth.
+func TestBucketLongRunRate(t *testing.T) {
+	b := NewBucket(2*units.Mbps, 3000)
+	var admitted int64
+	now := units.Time(0)
+	for i := 0; i < 200000; i++ {
+		now += 100 * units.Microsecond // offered 1500B/100µs = 120 Mbps
+		if b.Conform(now, 1500) {
+			admitted += 1500
+		}
+	}
+	want := int64(float64(2*units.Mbps)/8*now.Seconds()) + 3000
+	diff := admitted - want
+	if diff < -1500 || diff > 1500 {
+		t.Errorf("admitted %d bytes, want %d ±1500", admitted, want)
+	}
+}
+
+// TestBucketNeverExceedsProfile is the property-based version: for any
+// arrival pattern, admitted bytes over [0,T] never exceed rate*T+depth.
+func TestBucketNeverExceedsProfile(t *testing.T) {
+	f := func(gaps []uint16, sizes []uint16) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		b := NewBucket(units.Mbps, 4500)
+		now := units.Time(0)
+		var admitted int64
+		for i, g := range gaps {
+			now += units.Time(g) * units.Microsecond
+			size := 1
+			if i < len(sizes) {
+				size = int(sizes[i]%4500) + 1
+			}
+			if b.Conform(now, size) {
+				admitted += int64(size)
+			}
+		}
+		limit := int64(float64(units.Mbps)/8*now.Seconds()) + 4500 + 1
+		return admitted <= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package tokenbucket
+
+import (
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// SRTCM is the Single Rate Three Color Marker of RFC 2697 (Heinanen &
+// Guérin): a committed bucket (CIR, CBS) and an excess bucket (EBS)
+// fed by committed-bucket overflow. Packets are green if they fit the
+// committed bucket, yellow if they fit the excess bucket, red
+// otherwise. Color-blind mode only, which is what an ingress marker
+// for unmarked video traffic runs.
+type SRTCM struct {
+	cir units.BitRate
+
+	// Committed (C) and excess (E) token counts, scaled like Bucket.
+	scaledC, scaledE     int64
+	scaledCBS, scaledEBS int64
+	lastUpdate           units.Time
+}
+
+// NewSRTCM returns a marker with committed rate cir, committed burst
+// cbs and excess burst ebs (both in bytes). Both buckets start full.
+func NewSRTCM(cir units.BitRate, cbs, ebs units.ByteSize) *SRTCM {
+	if cir <= 0 || cbs <= 0 || ebs < 0 {
+		panic("tokenbucket: bad srTCM parameters")
+	}
+	m := &SRTCM{cir: cir}
+	m.scaledCBS = int64(cbs) * tokenScale
+	m.scaledEBS = int64(ebs) * tokenScale
+	m.scaledC = m.scaledCBS
+	m.scaledE = m.scaledEBS
+	return m
+}
+
+func (m *SRTCM) refill(now units.Time) {
+	if now <= m.lastUpdate {
+		return
+	}
+	dt := now - m.lastUpdate
+	m.lastUpdate = now
+	gain := int64(float64(dt) * float64(m.cir) / 8)
+	m.scaledC += gain
+	if m.scaledC > m.scaledCBS {
+		// Overflow of the committed bucket feeds the excess bucket.
+		m.scaledE += m.scaledC - m.scaledCBS
+		m.scaledC = m.scaledCBS
+		if m.scaledE > m.scaledEBS {
+			m.scaledE = m.scaledEBS
+		}
+	}
+}
+
+// Mark colors a packet of n bytes arriving at now, debiting the
+// appropriate bucket per RFC 2697 §3 (color-blind).
+func (m *SRTCM) Mark(now units.Time, n int) packet.Color {
+	m.refill(now)
+	need := int64(n) * tokenScale
+	if m.scaledC >= need {
+		m.scaledC -= need
+		return packet.Green
+	}
+	if m.scaledE >= need {
+		m.scaledE -= need
+		return packet.Yellow
+	}
+	return packet.Red
+}
+
+// TRTCM is the Two Rate Three Color Marker of RFC 2698: a peak bucket
+// (PIR, PBS) and a committed bucket (CIR, CBS). A packet is red if it
+// violates the peak profile, yellow if it only violates the committed
+// profile, green otherwise. Color-blind mode.
+type TRTCM struct {
+	cir, pir units.BitRate
+
+	scaledC, scaledP     int64
+	scaledCBS, scaledPBS int64
+	lastUpdate           units.Time
+}
+
+// NewTRTCM returns a two-rate marker. pir must be ≥ cir (RFC 2698 §2).
+func NewTRTCM(cir, pir units.BitRate, cbs, pbs units.ByteSize) *TRTCM {
+	if cir <= 0 || pir < cir || cbs <= 0 || pbs <= 0 {
+		panic("tokenbucket: bad trTCM parameters")
+	}
+	m := &TRTCM{cir: cir, pir: pir}
+	m.scaledCBS = int64(cbs) * tokenScale
+	m.scaledPBS = int64(pbs) * tokenScale
+	m.scaledC = m.scaledCBS
+	m.scaledP = m.scaledPBS
+	return m
+}
+
+func (m *TRTCM) refill(now units.Time) {
+	if now <= m.lastUpdate {
+		return
+	}
+	dt := now - m.lastUpdate
+	m.lastUpdate = now
+	gc := int64(float64(dt) * float64(m.cir) / 8)
+	gp := int64(float64(dt) * float64(m.pir) / 8)
+	m.scaledC += gc
+	if m.scaledC > m.scaledCBS {
+		m.scaledC = m.scaledCBS
+	}
+	m.scaledP += gp
+	if m.scaledP > m.scaledPBS {
+		m.scaledP = m.scaledPBS
+	}
+}
+
+// Mark colors a packet of n bytes arriving at now per RFC 2698 §3
+// (color-blind).
+func (m *TRTCM) Mark(now units.Time, n int) packet.Color {
+	m.refill(now)
+	need := int64(n) * tokenScale
+	if m.scaledP < need {
+		return packet.Red
+	}
+	if m.scaledC < need {
+		m.scaledP -= need
+		return packet.Yellow
+	}
+	m.scaledP -= need
+	m.scaledC -= need
+	return packet.Green
+}
+
+// ColorToDSCP maps a marker verdict to the AF class-1 drop precedence
+// code points, the mapping an AF ingress would apply.
+func ColorToDSCP(c packet.Color) packet.DSCP {
+	switch c {
+	case packet.Green:
+		return packet.AF11
+	case packet.Yellow:
+		return packet.AF12
+	default:
+		return packet.AF13
+	}
+}
+
+// AFMarker is a conditioning element that colors packets with a three
+// color marker and re-marks their DSCP accordingly, forwarding
+// everything (AF marks rather than drops — §2.1 of the paper).
+type AFMarker struct {
+	clock Clock
+	srtcm *SRTCM
+	trtcm *TRTCM
+	next  packet.Handler
+
+	Green, Yellow, Red int
+}
+
+// NewAFMarkerSR returns an AF marker driven by an srTCM profile.
+func NewAFMarkerSR(clock Clock, m *SRTCM, next packet.Handler) *AFMarker {
+	return &AFMarker{clock: clock, srtcm: m, next: next}
+}
+
+// NewAFMarkerTR returns an AF marker driven by a trTCM profile.
+func NewAFMarkerTR(clock Clock, m *TRTCM, next packet.Handler) *AFMarker {
+	return &AFMarker{clock: clock, trtcm: m, next: next}
+}
+
+// Handle colors and forwards pkt.
+func (a *AFMarker) Handle(pkt *packet.Packet) {
+	now := a.clock.Now()
+	var c packet.Color
+	if a.srtcm != nil {
+		c = a.srtcm.Mark(now, pkt.Size)
+	} else {
+		c = a.trtcm.Mark(now, pkt.Size)
+	}
+	pkt.Color = c
+	pkt.DSCP = ColorToDSCP(c)
+	switch c {
+	case packet.Green:
+		a.Green++
+	case packet.Yellow:
+		a.Yellow++
+	default:
+		a.Red++
+	}
+	a.next.Handle(pkt)
+}

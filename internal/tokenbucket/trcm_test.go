@@ -1,0 +1,131 @@
+package tokenbucket
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestSRTCMColorsInOrder(t *testing.T) {
+	// CIR 8 Mbps (1 B/µs), CBS 3000, EBS 3000. Both buckets full at 0.
+	m := NewSRTCM(8*units.Mbps, 3000, 3000)
+	if c := m.Mark(0, 3000); c != packet.Green {
+		t.Errorf("first packet %v, want green", c)
+	}
+	if c := m.Mark(0, 3000); c != packet.Yellow {
+		t.Errorf("second packet %v, want yellow (excess bucket)", c)
+	}
+	if c := m.Mark(0, 3000); c != packet.Red {
+		t.Errorf("third packet %v, want red", c)
+	}
+}
+
+func TestSRTCMCommittedRefillFeedsExcess(t *testing.T) {
+	m := NewSRTCM(8*units.Mbps, 1000, 2000)
+	// Drain both.
+	m.Mark(0, 1000)
+	m.Mark(0, 1000)
+	m.Mark(0, 1000)
+	// After 4 ms (4000 bytes of tokens at 1B/µs): C refills to 1000,
+	// overflow 3000 goes to E capped at 2000.
+	now := 4 * units.Millisecond
+	if c := m.Mark(now, 1000); c != packet.Green {
+		t.Errorf("want green after refill, got %v", c)
+	}
+	if c := m.Mark(now, 2000); c != packet.Yellow {
+		t.Errorf("want yellow from excess, got %v", c)
+	}
+	if c := m.Mark(now, 500); c != packet.Red {
+		t.Errorf("want red when both drained, got %v", c)
+	}
+}
+
+func TestTRTCMPeakDominates(t *testing.T) {
+	// PIR 16 Mbps / PBS 1500, CIR 8 Mbps / CBS 6000: a burst violating
+	// the peak profile is red even though committed tokens remain.
+	m := NewTRTCM(8*units.Mbps, 16*units.Mbps, 6000, 1500)
+	if c := m.Mark(0, 1500); c != packet.Green {
+		t.Errorf("first %v, want green", c)
+	}
+	if c := m.Mark(0, 1500); c != packet.Red {
+		t.Errorf("second %v, want red (peak violated)", c)
+	}
+}
+
+func TestTRTCMYellowWhenCommittedExhausted(t *testing.T) {
+	m := NewTRTCM(units.Mbps, 8*units.Mbps, 1500, 6000)
+	if c := m.Mark(0, 1500); c != packet.Green {
+		t.Errorf("first %v", c)
+	}
+	if c := m.Mark(0, 1500); c != packet.Yellow {
+		t.Errorf("second %v, want yellow (committed gone, peak ok)", c)
+	}
+}
+
+func TestTRTCMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for pir < cir")
+		}
+	}()
+	NewTRTCM(2*units.Mbps, units.Mbps, 1000, 1000)
+}
+
+func TestColorToDSCP(t *testing.T) {
+	if ColorToDSCP(packet.Green) != packet.AF11 ||
+		ColorToDSCP(packet.Yellow) != packet.AF12 ||
+		ColorToDSCP(packet.Red) != packet.AF13 {
+		t.Error("AF mapping wrong")
+	}
+}
+
+func TestAFMarkerRemarksAndCounts(t *testing.T) {
+	s := sim.New(1)
+	var sink packet.Sink
+	m := NewAFMarkerSR(s, NewSRTCM(8*units.Mbps, 3000, 3000), &sink)
+	for i := 0; i < 3; i++ {
+		m.Handle(mkPkt(3000))
+	}
+	if sink.Count != 3 {
+		t.Fatalf("AF marker must forward everything, got %d", sink.Count)
+	}
+	if m.Green != 1 || m.Yellow != 1 || m.Red != 1 {
+		t.Errorf("counts G=%d Y=%d R=%d", m.Green, m.Yellow, m.Red)
+	}
+	if sink.Last.DSCP != packet.AF13 {
+		t.Errorf("last DSCP = %v, want AF13", sink.Last.DSCP)
+	}
+}
+
+func TestAFMarkerTR(t *testing.T) {
+	s := sim.New(1)
+	var sink packet.Sink
+	m := NewAFMarkerTR(s, NewTRTCM(units.Mbps, 8*units.Mbps, 1500, 6000), &sink)
+	m.Handle(mkPkt(1500))
+	m.Handle(mkPkt(1500))
+	if m.Green != 1 || m.Yellow != 1 {
+		t.Errorf("counts G=%d Y=%d R=%d", m.Green, m.Yellow, m.Red)
+	}
+}
+
+// TestSRTCMLongRunRates: over a long saturated run, green bytes track
+// CIR — the marker's contract.
+func TestSRTCMLongRunRates(t *testing.T) {
+	m := NewSRTCM(2*units.Mbps, 3000, 6000)
+	var green, total int64
+	now := units.Time(0)
+	for i := 0; i < 100000; i++ {
+		now += 200 * units.Microsecond // 60 Mbps offered
+		if m.Mark(now, 1500) == packet.Green {
+			green += 1500
+		}
+		total += 1500
+	}
+	wantGreen := int64(float64(2*units.Mbps) / 8 * now.Seconds())
+	ratio := float64(green) / float64(wantGreen)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("green bytes %d, want ≈%d (ratio %.3f)", green, wantGreen, ratio)
+	}
+}

@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"repro/internal/client"
+	"repro/internal/link"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/tokenbucket"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// AFConfig parameterizes the Assured Forwarding extension experiment.
+// The paper ran preliminary AF tests but deferred them because "the
+// results were heavily dependent on the level of cross traffic and its
+// impact on the performance given to marked packets" (§2.1) — which is
+// exactly the sensitivity this topology exposes: an srTCM colors the
+// video at the edge, a congested bottleneck hop runs RIO, and the
+// AFLoad knob controls how much *other* AF traffic competes inside the
+// class.
+type AFConfig struct {
+	Seed uint64
+	Enc  *video.Encoding
+
+	CIR units.BitRate  // committed rate of the video's srTCM profile
+	CBS units.ByteSize // committed burst; default 3000
+	EBS units.ByteSize // excess burst; default 6000
+
+	BottleneckRate units.BitRate // default 5 Mbps
+	AFLoad         float64       // competing in-class AF load fraction; default 0.3
+	BELoad         float64       // best-effort load fraction; default 0.4
+}
+
+func (c AFConfig) withDefaults() AFConfig {
+	if c.CBS == 0 {
+		c.CBS = 3000
+	}
+	if c.EBS == 0 {
+		c.EBS = 6000
+	}
+	if c.BottleneckRate == 0 {
+		c.BottleneckRate = 5 * units.Mbps
+	}
+	if c.AFLoad == 0 {
+		c.AFLoad = 0.3
+	}
+	if c.BELoad == 0 {
+		c.BELoad = 0.4
+	}
+	return c
+}
+
+// AF is a built Assured Forwarding experiment.
+type AF struct {
+	Sim        *sim.Simulator
+	Server     *server.Paced
+	Client     *client.UDP
+	Marker     *tokenbucket.AFMarker
+	Bottleneck *link.Link
+	Sched      *queue.AFScheduler
+}
+
+// BuildAF wires: paced server → srTCM marker (green/yellow/red →
+// AF11/12/13) → bottleneck link with a RIO AF queue and competing
+// AF-marked and best-effort cross traffic → client access → client.
+// Unlike EF, nothing is dropped at the edge: conformance only changes
+// the drop precedence inside the network.
+func BuildAF(cfg AFConfig) *AF {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	a := &AF{Sim: s}
+
+	a.Client = client.NewUDP(s, cfg.Enc.Clip.FrameCount())
+	a.Client.Tolerance = client.SliceTolerance
+	access := link.New(s, 10*units.Mbps, units.Millisecond, queue.NewSingleFIFO(0), a.Client)
+
+	// Bottleneck with the AF PHB: in-profile (green) protected by the
+	// permissive RIO profile, yellow/red exposed to the congestion.
+	rng := s.RNG().Fork()
+	in := queue.REDConfig{MinTh: 40, MaxTh: 60, MaxP: 0.02, Wq: 0.002, MaxSize: 80}
+	out := queue.REDConfig{MinTh: 8, MaxTh: 25, MaxP: 0.3, Wq: 0.002, MaxSize: 80}
+	a.Sched = queue.NewAFScheduler(in, out, rng.Float64, 100)
+	a.Bottleneck = link.New(s, cfg.BottleneckRate, 5*units.Millisecond, a.Sched, access)
+
+	// Competing traffic: an AF-marked aggregate (alternating colors —
+	// someone else's partially conformant traffic) and best effort.
+	if cfg.AFLoad > 0 {
+		af := &traffic.Poisson{
+			Sim: s, Rate: units.BitRate(cfg.AFLoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 900, DSCP: packet.AF12, Next: a.Bottleneck,
+		}
+		af.Start()
+	}
+	if cfg.BELoad > 0 {
+		be := &traffic.Poisson{
+			Sim: s, Rate: units.BitRate(cfg.BELoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 901, DSCP: packet.BestEffort, Next: a.Bottleneck,
+		}
+		be.Start()
+	}
+
+	// Edge: classify the video flow into the srTCM marker.
+	srtcm := tokenbucket.NewSRTCM(cfg.CIR, cfg.CBS, cfg.EBS)
+	a.Marker = tokenbucket.NewAFMarkerSR(s, srtcm, a.Bottleneck)
+	edge := node.NewRouter("af-edge", a.Bottleneck)
+	edge.AddRule("video-af", node.FlowMatch(VideoFlow), a.Marker)
+
+	jit := &link.Jitter{Sim: s, Max: 3 * units.Millisecond, Next: edge}
+	campus := link.New(s, 100*units.Mbps, 500*units.Microsecond, queue.NewSingleFIFO(0), jit)
+
+	a.Server = &server.Paced{Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: campus}
+	return a
+}
+
+// Run executes the experiment.
+func (a *AF) Run() {
+	a.Server.Start()
+	horizon := units.FromSeconds(a.Server.Enc.Clip.DurationSeconds() + 30)
+	a.Sim.SetHorizon(horizon)
+	a.Sim.Run()
+	a.Client.Finish()
+}

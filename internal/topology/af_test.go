@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func TestAFBuildsAndRuns(t *testing.T) {
+	enc := video.EncodeCBR(video.Lost(), 1.0e6)
+	a := BuildAF(AFConfig{Seed: 1, Enc: enc, CIR: 1.2e6})
+	a.Run()
+	if a.Marker.Green == 0 {
+		t.Fatal("marker saw no traffic")
+	}
+	tr := a.Client.Trace()
+	if tr.FrameLossFraction() > 0.02 {
+		t.Errorf("frame loss %v with adequate CIR and default load", tr.FrameLossFraction())
+	}
+}
+
+func TestAFColoringMonotoneInCIR(t *testing.T) {
+	enc := video.EncodeCBR(video.Lost(), 1.0e6)
+	reds := func(cir units.BitRate) int {
+		a := BuildAF(AFConfig{Seed: 1, Enc: enc, CIR: cir})
+		a.Run()
+		return a.Marker.Red
+	}
+	small, big := reds(0.5e6), reds(1.5e6)
+	if small <= big {
+		t.Errorf("red count not decreasing in CIR: %d vs %d", small, big)
+	}
+}
+
+func TestAFNeverDropsAtEdge(t *testing.T) {
+	// AF conditioning marks; it must not drop. Every sent packet is
+	// either delivered or lost inside the network, and with no
+	// congestion everything arrives even when heavily red-marked.
+	enc := video.EncodeCBR(video.Lost(), 1.0e6)
+	a := BuildAF(AFConfig{Seed: 3, Enc: enc, CIR: 0.4e6, AFLoad: 0.01, BELoad: 0.01})
+	a.Run()
+	if a.Marker.Red == 0 {
+		t.Fatal("expected heavy red marking at CIR 0.4M")
+	}
+	if got := a.Client.Trace().FrameLossFraction(); got > 0.01 {
+		t.Errorf("frame loss %v in an uncongested AF class", got)
+	}
+}

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"repro/internal/client"
+	"repro/internal/link"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/tokenbucket"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// LocalConfig parameterizes the local-testbed experiment (Figs. 15–16):
+// a Windows Media server streaming the WMV-encoded clip through the
+// three-router Frame Relay chain of Fig. 4.
+type LocalConfig struct {
+	Seed      uint64
+	Enc       *video.Encoding
+	TokenRate units.BitRate
+	Depth     units.ByteSize
+
+	UseTCP bool // TCP streaming with server-side thinning (the usable mode)
+
+	// LimitedTransmit enables RFC 3042 on the TCP sender (ablation;
+	// the 2001 testbed stacks predate it).
+	LimitedTransmit bool
+
+	// UseShaper inserts the Linux shaping router between the server
+	// and router 1 (Fig. 4 / Table 4 "Shape – Linux router").
+	UseShaper   bool
+	ShaperRate  units.BitRate  // default: the policer token rate
+	ShaperDepth units.ByteSize // default: the policer depth
+
+	HostRate     units.BitRate // server NIC; default 10 Mbps
+	CrossTraffic bool          // inject best-effort cross traffic at router 2
+}
+
+func (c LocalConfig) withDefaults() LocalConfig {
+	if c.HostRate == 0 {
+		c.HostRate = 10 * units.Mbps
+	}
+	if c.ShaperRate == 0 {
+		c.ShaperRate = c.TokenRate
+	}
+	if c.ShaperDepth == 0 {
+		c.ShaperDepth = c.Depth
+	}
+	return c
+}
+
+// Local is a built local-testbed experiment.
+type Local struct {
+	Sim     *sim.Simulator
+	Policer *tokenbucket.Policer
+	Shaper  *tokenbucket.Shaper
+
+	// UDP mode.
+	UDPServer *server.WMTUDP
+	UDPClient *client.UDP
+
+	// TCP mode.
+	TCPServer *server.WMTTCP
+	TCPClient *client.Stream
+	Sender    *tcpsim.Sender
+	Receiver  *tcpsim.Receiver
+
+	enc *video.Encoding
+}
+
+// BuildLocal wires Fig. 4: server host → hub → (optional Linux
+// shaper) → router 1 (classifier + EF policer, drop) → FR/HSSI 2 Mbps
+// → router 2 → FR/V.35 2 Mbps (the E1 bottleneck) → router 3 → client.
+func BuildLocal(cfg LocalConfig) *Local {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	l := &Local{Sim: s, enc: cfg.Enc}
+	frames := cfg.Enc.Clip.FrameCount()
+
+	fr := link.Table1()
+
+	// Receive side first (chain is built back to front).
+	var clientSide packet.Handler
+	var ackBack packet.Handler // reverse path for TCP ACKs
+	if cfg.UseTCP {
+		l.TCPClient = client.NewStream(s, frames)
+	} else {
+		l.UDPClient = client.NewUDP(s, frames)
+		clientSide = l.UDPClient
+	}
+
+	// Router 3 → client hub (fast Ethernet).
+	var deliver packet.Handler
+	if cfg.UseTCP {
+		deliver = packet.HandlerFunc(func(p *packet.Packet) { l.Receiver.Handle(p) })
+	} else {
+		deliver = clientSide
+	}
+	hub2 := link.New(s, 10*units.Mbps, 200*units.Microsecond, queue.NewSingleFIFO(0), deliver)
+
+	// Router 3: BA classifier, EF priority port.
+	r3port := link.NewFrameRelay(s, fr[3], units.Millisecond, queue.NewEFPriority(100, 100), hub2)
+	router3 := node.NewRouter("router3", r3port)
+	_ = router3 // classification is positional: everything goes to the port
+	// Router 2: V.35 bottleneck toward router 3.
+	r2port := link.NewFrameRelay(s, fr[0], units.Millisecond, queue.NewEFPriority(100, 100), r3port)
+	// Router 1: HSSI toward router 2, EF policer on the video flow.
+	r1port := link.NewFrameRelay(s, fr[2], units.Millisecond, queue.NewEFPriority(100, 100), r2port)
+
+	l.Policer = tokenbucket.NewPolicer(s, cfg.TokenRate, cfg.Depth, packet.EF, r1port)
+	router1 := node.NewRouter("router1", r1port)
+	router1.AddRule("video", node.FlowMatch(VideoFlow), l.Policer)
+
+	// Optional Linux shaping router between server hub and router 1.
+	var ingress packet.Handler = router1
+	if cfg.UseShaper {
+		l.Shaper = tokenbucket.NewShaper(s, cfg.ShaperRate, cfg.ShaperDepth, packet.BestEffort, router1)
+		l.Shaper.SetQueueLimit(200)
+		ingress = l.Shaper
+	}
+
+	// Server hub: host NIC serialization.
+	hub1 := link.New(s, cfg.HostRate, 200*units.Microsecond, queue.NewSingleFIFO(0), ingress)
+
+	if cfg.CrossTraffic {
+		cross := &traffic.OnOff{
+			Sim: s, PeakRate: 1.5 * units.Mbps, MeanOn: 200 * units.Millisecond,
+			MeanOff: 400 * units.Millisecond, Flow: 99, DSCP: packet.BestEffort,
+			Next: r2port,
+		}
+		cross.Start()
+	}
+
+	if cfg.UseTCP {
+		// ACKs return over an uncongested reverse path.
+		ackBack = link.New(s, 10*units.Mbps, 2*units.Millisecond, queue.NewSingleFIFO(0),
+			packet.HandlerFunc(func(p *packet.Packet) { l.Sender.HandleAck(p) }))
+		l.Sender = tcpsim.NewSender(s, VideoFlow, hub1)
+		l.Sender.LimitedTransmit = cfg.LimitedTransmit
+		asm := &client.StreamAssembler{}
+		l.Receiver = tcpsim.NewReceiver(s, VideoFlow, ackBack, func(n int64) {
+			l.TCPClient.OnDelivered(asm, n)
+		})
+		l.TCPServer = &server.WMTTCP{Sim: s, Enc: cfg.Enc, Sender: l.Sender, Asm: asm}
+	} else {
+		l.UDPServer = &server.WMTUDP{
+			Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: hub1, HostRate: cfg.HostRate,
+		}
+	}
+	return l
+}
+
+// Run executes the experiment and returns when the clip (plus drain
+// time) has played out.
+func (l *Local) Run() {
+	if l.TCPServer != nil {
+		l.TCPServer.Start()
+	} else {
+		l.UDPServer.Start()
+	}
+	horizon := units.FromSeconds(l.enc.Clip.DurationSeconds() + 60)
+	l.Sim.SetHorizon(horizon)
+	l.Sim.Run()
+	if l.TCPClient != nil {
+		l.TCPClient.Finish()
+	}
+	if l.UDPClient != nil {
+		l.UDPClient.Finish()
+	}
+}
+
+// Trace returns the client's frame trace for whichever mode ran.
+func (l *Local) Trace() *trace.Trace {
+	if l.TCPClient != nil {
+		return l.TCPClient.Trace()
+	}
+	return l.UDPClient.Trace()
+}

@@ -1,0 +1,151 @@
+// Package topology assembles the two experimental networks of §3.2:
+// the QBone wide-area path (Fig. 5) and the local three-router Frame
+// Relay testbed (Fig. 4), wiring servers, conditioning elements,
+// links, routers, cross traffic and clients into runnable simulations.
+package topology
+
+import (
+	"repro/internal/client"
+	"repro/internal/link"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tokenbucket"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// VideoFlow is the flow id the experiments' video connection uses.
+const VideoFlow packet.FlowID = 1
+
+// QBoneConfig parameterizes the wide-area experiment (Figs. 7–14).
+type QBoneConfig struct {
+	Seed      uint64
+	Enc       *video.Encoding
+	TokenRate units.BitRate  // APS profile peak rate
+	Depth     units.ByteSize // APS profile burst size (3000 or 4500)
+	Shape     bool           // shape instead of drop at the border
+
+	Hops         int           // backbone hops; default 4
+	HopRate      units.BitRate // default 45 Mbps
+	HopDelay     units.Time    // default 5 ms per hop
+	CampusJitter units.Time    // default 3 ms (pre-policer jitter, §3.2)
+	CrossLoad    float64       // best-effort load fraction per hop; default 0.15
+	AccessRate   units.BitRate // client access link; default 10 Mbps
+	MsgSize      int           // server message payload; default one MTU
+}
+
+func (c QBoneConfig) withDefaults() QBoneConfig {
+	if c.Hops == 0 {
+		c.Hops = 4
+	}
+	if c.HopRate == 0 {
+		c.HopRate = 45 * units.Mbps
+	}
+	if c.HopDelay == 0 {
+		c.HopDelay = 5 * units.Millisecond
+	}
+	if c.CampusJitter == 0 {
+		c.CampusJitter = 5 * units.Millisecond
+	}
+	if c.CrossLoad == 0 {
+		c.CrossLoad = 0.15
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 10 * units.Mbps
+	}
+	return c
+}
+
+// QBone is a built wide-area experiment ready to run.
+type QBone struct {
+	Sim     *sim.Simulator
+	Server  *server.Paced
+	Client  *client.UDP
+	Policer *tokenbucket.Policer
+	Shaper  *tokenbucket.Shaper
+	Hops    []*link.Link
+	Cross   []*traffic.Poisson
+
+	// Delay records one-way delay and jitter of everything reaching
+	// the client — the network-level EF service quality (§2: EF's
+	// promise is low loss, low delay, low jitter).
+	Delay *stats.DelayCollector
+}
+
+// BuildQBone wires Fig. 5: the Video Charger server at the remote
+// campus, campus jitter, the border CAR policer (drop, or shaper when
+// cfg.Shape), cfg.Hops backbone routers with EF priority queues and
+// best-effort cross traffic, and the client behind its access link.
+func BuildQBone(cfg QBoneConfig) *QBone {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	q := &QBone{Sim: s}
+
+	cl := client.NewUDP(s, cfg.Enc.Clip.FrameCount())
+	q.Client = cl
+	q.Delay = &stats.DelayCollector{
+		Clock: s, Next: cl,
+		Match: func(p *packet.Packet) bool { return p.Flow == VideoFlow },
+	}
+
+	// Build the chain back to front: access link, then hops.
+	var next packet.Handler = q.Delay
+	next = link.New(s, cfg.AccessRate, units.Millisecond, queue.NewEFPriority(0, 200), next)
+	for i := cfg.Hops - 1; i >= 0; i-- {
+		sched := queue.NewEFPriority(400, 400)
+		hop := link.New(s, cfg.HopRate, cfg.HopDelay, sched, next)
+		q.Hops = append([]*link.Link{hop}, q.Hops...)
+		// Core routers classify on DSCP only (§3.2.1.2): EF to the
+		// high queue, the rest best effort — which the EF priority
+		// scheduler does by construction, so the hop router is just
+		// the link itself.
+		next = hop
+		if cfg.CrossLoad > 0 {
+			cross := &traffic.Poisson{
+				Sim: s, Rate: units.BitRate(cfg.CrossLoad * float64(cfg.HopRate)),
+				Size: units.EthernetMTU, Flow: packet.FlowID(1000 + i),
+				DSCP: packet.BestEffort, Next: hop,
+			}
+			cross.Start()
+			q.Cross = append(q.Cross, cross)
+		}
+	}
+
+	// Border conditioning: Cisco CAR configured to drop out-of-profile
+	// packets (§3.2.2), or a shaper for the ablation.
+	var conditioned packet.Handler
+	if cfg.Shape {
+		q.Shaper = tokenbucket.NewShaper(s, cfg.TokenRate, cfg.Depth, packet.EF, next)
+		conditioned = q.Shaper
+	} else {
+		q.Policer = tokenbucket.NewPolicer(s, cfg.TokenRate, cfg.Depth, packet.EF, next)
+		conditioned = q.Policer
+	}
+	border := node.NewRouter("border", next)
+	border.AddRule("video-aps", node.FlowMatch(VideoFlow), conditioned)
+
+	// Campus segment: fast LAN plus the jitter the paper identifies as
+	// the reason conformance at the policer is perturbed.
+	jit := &link.Jitter{Sim: s, Max: cfg.CampusJitter, Next: border}
+	campus := link.New(s, 100*units.Mbps, 500*units.Microsecond, queue.NewSingleFIFO(0), jit)
+
+	q.Server = &server.Paced{
+		Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: campus, MsgSize: cfg.MsgSize,
+	}
+	return q
+}
+
+// Run starts the server and executes the simulation to completion,
+// returning the client's sorted frame trace.
+func (q *QBone) Run() {
+	q.Server.Start()
+	horizon := units.FromSeconds(q.Server.Enc.Clip.DurationSeconds() + 30)
+	q.Sim.SetHorizon(horizon)
+	q.Sim.Run()
+	q.Client.Finish()
+}

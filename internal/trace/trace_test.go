@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestLossFraction(t *testing.T) {
+	tr := &Trace{ClipFrames: 10}
+	for i := 0; i < 7; i++ {
+		tr.Add(FrameRecord{Seq: i})
+	}
+	if tr.LostFrames() != 3 {
+		t.Errorf("LostFrames = %d", tr.LostFrames())
+	}
+	if got := tr.FrameLossFraction(); got != 0.3 {
+		t.Errorf("FrameLossFraction = %v", got)
+	}
+	if (&Trace{}).FrameLossFraction() != 0 {
+		t.Error("empty trace loss fraction")
+	}
+}
+
+func TestLateFrames(t *testing.T) {
+	tr := &Trace{ClipFrames: 3}
+	tr.Add(FrameRecord{Seq: 0, Arrival: 10, Presentation: 20})
+	tr.Add(FrameRecord{Seq: 1, Arrival: 30, Presentation: 20})
+	tr.Add(FrameRecord{Seq: 2, Arrival: 200, Presentation: 20})
+	if got := tr.LateFrames(0); got != 2 {
+		t.Errorf("LateFrames(0) = %d", got)
+	}
+	if got := tr.LateFrames(50); got != 1 {
+		t.Errorf("LateFrames(50) = %d", got)
+	}
+}
+
+func TestSortBySeq(t *testing.T) {
+	tr := &Trace{ClipFrames: 3}
+	tr.Add(FrameRecord{Seq: 2})
+	tr.Add(FrameRecord{Seq: 0})
+	tr.Add(FrameRecord{Seq: 1})
+	tr.SortBySeq()
+	for i, r := range tr.Records {
+		if r.Seq != i {
+			t.Fatalf("not sorted: %v", tr.Records)
+		}
+	}
+}
+
+func TestDamageFraction(t *testing.T) {
+	r := FrameRecord{Frags: 4, LostFrags: 1}
+	if r.DamageFraction() != 0.25 {
+		t.Errorf("DamageFraction = %v", r.DamageFraction())
+	}
+	if (FrameRecord{}).DamageFraction() != 0 {
+		t.Error("zero-frag damage must be 0")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := &Trace{ClipFrames: 100}
+	tr.Add(FrameRecord{Seq: 0, Arrival: 123, Presentation: 456, Frags: 5, LostFrags: 1})
+	tr.Add(FrameRecord{Seq: 7, Arrival: 1e9, Presentation: 2e9, Frags: 3})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClipFrames != 100 || len(got.Records) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader("not a header\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seqs []uint16, arrivals []uint32) bool {
+		tr := &Trace{ClipFrames: 70000}
+		for i, s := range seqs {
+			var a uint32
+			if i < len(arrivals) {
+				a = arrivals[i]
+			}
+			tr.Add(FrameRecord{
+				Seq: int(s), Arrival: units.Time(a),
+				Presentation: units.Time(a) + units.Second,
+				Frags:        i%7 + 1, LostFrags: i % 2,
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

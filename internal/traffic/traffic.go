@@ -1,0 +1,154 @@
+// Package traffic provides background (cross) traffic sources: CBR,
+// Poisson, and heavy-tailed on-off generators. The QBone experiments
+// could not control interfering traffic; the simulator injects it
+// explicitly so its effect on the EF service can be studied (and, as
+// the paper found, shown to be minor when EF is prioritized).
+package traffic
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+var nextPacketID uint64
+
+// NewPacketID hands out globally unique packet ids across all sources
+// in a process; ids only need to be unique, not dense.
+func NewPacketID() uint64 {
+	nextPacketID++
+	return nextPacketID
+}
+
+// ResetPacketIDs restarts the id counter (tests and experiment
+// isolation).
+func ResetPacketIDs() { nextPacketID = 0 }
+
+// CBR emits fixed-size packets at a constant bit rate.
+type CBR struct {
+	Sim   *sim.Simulator
+	Rate  units.BitRate
+	Size  int
+	Flow  packet.FlowID
+	DSCP  packet.DSCP
+	Next  packet.Handler
+	Until units.Time // stop time; 0 = run to horizon
+
+	Sent int
+}
+
+// Start schedules the first emission.
+func (c *CBR) Start() {
+	if c.Size <= 0 {
+		c.Size = units.EthernetMTU
+	}
+	c.Sim.After(0, c.emit)
+}
+
+func (c *CBR) emit() {
+	if c.Until > 0 && c.Sim.Now() >= c.Until {
+		return
+	}
+	p := &packet.Packet{
+		ID: NewPacketID(), Flow: c.Flow, Size: c.Size,
+		DSCP: c.DSCP, SentAt: c.Sim.Now(), FrameSeq: -1,
+	}
+	c.Sent++
+	c.Next.Handle(p)
+	c.Sim.After(c.Rate.TxTime(c.Size), c.emit)
+}
+
+// Poisson emits fixed-size packets with exponential inter-arrivals
+// averaging the configured rate.
+type Poisson struct {
+	Sim   *sim.Simulator
+	Rate  units.BitRate
+	Size  int
+	Flow  packet.FlowID
+	DSCP  packet.DSCP
+	Next  packet.Handler
+	Until units.Time
+
+	rng  *sim.RNG
+	Sent int
+}
+
+// Start forks a dedicated RNG stream and schedules the first arrival.
+func (p *Poisson) Start() {
+	if p.Size <= 0 {
+		p.Size = units.EthernetMTU
+	}
+	p.rng = p.Sim.RNG().Fork()
+	p.scheduleNext()
+}
+
+func (p *Poisson) scheduleNext() {
+	mean := float64(p.Rate.TxTime(p.Size))
+	d := units.Time(p.rng.Exp(mean))
+	p.Sim.After(d, func() {
+		if p.Until > 0 && p.Sim.Now() >= p.Until {
+			return
+		}
+		pkt := &packet.Packet{
+			ID: NewPacketID(), Flow: p.Flow, Size: p.Size,
+			DSCP: p.DSCP, SentAt: p.Sim.Now(), FrameSeq: -1,
+		}
+		p.Sent++
+		p.Next.Handle(pkt)
+		p.scheduleNext()
+	})
+}
+
+// OnOff alternates exponentially distributed ON periods, during which
+// it sends CBR at PeakRate, with Pareto-tailed OFF periods — the
+// classic self-similar cross-traffic model.
+type OnOff struct {
+	Sim      *sim.Simulator
+	PeakRate units.BitRate
+	Size     int
+	MeanOn   units.Time
+	MeanOff  units.Time
+	Flow     packet.FlowID
+	DSCP     packet.DSCP
+	Next     packet.Handler
+	Until    units.Time
+
+	rng   *sim.RNG
+	onEnd units.Time
+	Sent  int
+}
+
+// Start begins with an OFF period so sources desynchronize.
+func (o *OnOff) Start() {
+	if o.Size <= 0 {
+		o.Size = units.EthernetMTU
+	}
+	o.rng = o.Sim.RNG().Fork()
+	o.scheduleOn()
+}
+
+func (o *OnOff) scheduleOn() {
+	off := units.Time(o.rng.Pareto(1.5, float64(o.MeanOff)/3))
+	o.Sim.After(off, func() {
+		if o.Until > 0 && o.Sim.Now() >= o.Until {
+			return
+		}
+		on := units.Time(o.rng.Exp(float64(o.MeanOn)))
+		o.onEnd = o.Sim.Now() + on
+		o.emit()
+	})
+}
+
+func (o *OnOff) emit() {
+	if o.Sim.Now() >= o.onEnd {
+		o.scheduleOn()
+		return
+	}
+	p := &packet.Packet{
+		ID: NewPacketID(), Flow: o.Flow, Size: o.Size,
+		DSCP: o.DSCP, SentAt: o.Sim.Now(), FrameSeq: -1,
+	}
+	o.Sent++
+	o.Next.Handle(p)
+	o.Sim.After(o.PeakRate.TxTime(o.Size), o.emit)
+}
