@@ -5,10 +5,13 @@
 //	dsbench -list
 //	dsbench -run all
 //	dsbench -run fig7,fig15,table2
-//	dsbench -scale 4          # thin token sweeps for a quick pass
+//	dsbench -scenario fig9            # one registered scenario
+//	dsbench -parallel 8               # worker-pool size (0 = all cores)
+//	dsbench -scale 4                  # thin token sweeps for a quick pass
 //
-// Output is plain text, one block per artifact, in the same layout the
-// paper reports.
+// Figure scenarios come from the experiment scenario registry and are
+// executed on the deterministic runner pool: -parallel changes only
+// wall-clock time, never a byte of output.
 package main
 
 import (
@@ -33,6 +36,9 @@ type artifact struct {
 // in addition to the numeric tables.
 var plotMode bool
 
+// parallelism is set by the -parallel flag; 0 means GOMAXPROCS.
+var parallelism int
+
 func render(f *experiment.Figure) string {
 	out := f.Format()
 	if plotMode {
@@ -41,32 +47,19 @@ func render(f *experiment.Figure) string {
 	return out
 }
 
-func qbone(spec func() experiment.QBoneSpec) func(int) string {
-	return func(scale int) string {
-		s := spec()
-		s.Tokens = experiment.Scale(s.Tokens, scale)
-		return render(s.Run())
-	}
-}
-
-func relative(spec func() experiment.RelativeSpec) func(int) string {
-	return func(scale int) string {
-		s := spec()
-		s.Tokens = experiment.Scale(s.Tokens, scale)
-		return render(s.Run())
-	}
-}
-
-func local(spec func() experiment.LocalSpec) func(int) string {
-	return func(scale int) string {
-		s := spec()
-		s.Tokens = experiment.Scale(s.Tokens, scale)
-		return render(s.Run())
-	}
+// scenarioArtifact adapts a registered scenario to the artifact table.
+func scenarioArtifact(s experiment.Scenario) artifact {
+	return artifact{s.Name(), s.Describe(), func(scale int) string {
+		sc := s
+		if sl, ok := sc.(experiment.Scalable); ok && scale > 1 {
+			sc = sl.Scaled(scale)
+		}
+		return render(experiment.RunScenario(sc, parallelism))
+	}}
 }
 
 func artifacts() []artifact {
-	return []artifact{
+	all := []artifact{
 		{"table1", "Frame Relay interface configuration", func(int) string {
 			var b strings.Builder
 			b.WriteString("Table 1 — Frame Relay interface configuration\n")
@@ -92,35 +85,32 @@ func artifacts() []artifact {
 			every := 31 * scale
 			return experiment.Figure6(video.Lost(), every) + "\n" + experiment.Figure6(video.Dark(), every)
 		}},
-		{"fig7", "QBone, Lost @ 1.7M", qbone(experiment.Figure7Spec)},
-		{"fig8", "QBone, Lost @ 1.5M", qbone(experiment.Figure8Spec)},
-		{"fig9", "QBone, Lost @ 1.0M", qbone(experiment.Figure9Spec)},
-		{"fig10", "QBone, Dark @ 1.7M", qbone(experiment.Figure10Spec)},
-		{"fig11", "QBone, Dark @ 1.5M", qbone(experiment.Figure11Spec)},
-		{"fig12", "QBone, Dark @ 1.0M", qbone(experiment.Figure12Spec)},
-		{"fig13", "Dark relative quality vs 1.7M reference", relative(experiment.Figure13Spec)},
-		{"fig14", "Lost relative quality vs 1.7M reference", relative(experiment.Figure14Spec)},
-		{"fig15", "Local testbed, drop policing", local(experiment.Figure15Spec)},
-		{"fig16", "Local testbed, shaper + drop policing", local(experiment.Figure16Spec)},
-		{"abl-shape", "Ablation: drop vs shape at the QBone border", func(int) string {
+	}
+	// Scenarios() is already in natural paper order (fig7 … fig16).
+	for _, s := range experiment.Scenarios() {
+		all = append(all, scenarioArtifact(s))
+	}
+	all = append(all,
+		artifact{"abl-shape", "Ablation: drop vs shape at the QBone border", func(int) string {
 			return experiment.AblationShaperVsDrop(experiment.DefaultSeed).Format()
 		}},
-		{"abl-hops", "Ablation: EF burst accumulation over hop count", func(int) string {
+		artifact{"abl-hops", "Ablation: EF burst accumulation over hop count", func(int) string {
 			return experiment.AblationHopCount(experiment.DefaultSeed)
 		}},
-		{"abl-jitter", "Ablation: pre-policer jitter vs conformance", func(int) string {
+		artifact{"abl-jitter", "Ablation: pre-policer jitter vs conformance", func(int) string {
 			return experiment.AblationJitter(experiment.DefaultSeed)
 		}},
-		{"abl-af", "Ablation: Assured Forwarding (srTCM + RIO)", func(int) string {
+		artifact{"abl-af", "Ablation: Assured Forwarding (srTCM + RIO)", func(int) string {
 			return experiment.FormatAF(experiment.AblationAF(experiment.DefaultSeed))
 		}},
-		{"abl-tcp", "Ablation: local TCP, era stack vs RFC 3042", func(int) string {
+		artifact{"abl-tcp", "Ablation: local TCP, era stack vs RFC 3042", func(int) string {
 			return experiment.AblationLocalTCP(experiment.DefaultSeed)
 		}},
-		{"ef-service", "EF delay/jitter/loss vs cross load", func(int) string {
+		artifact{"ef-service", "EF delay/jitter/loss vs cross load", func(int) string {
 			return experiment.EFServiceReport(experiment.DefaultSeed)
 		}},
-	}
+	)
+	return all
 }
 
 type frRow struct {
@@ -142,16 +132,34 @@ func videoTable1() []frRow {
 func main() {
 	list := flag.Bool("list", false, "list available artifacts")
 	run := flag.String("run", "all", "comma-separated artifact names, or 'all'")
+	scenario := flag.String("scenario", "", "run one registered scenario by name (see -list)")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = all cores, 1 = serial)")
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	flag.Parse()
 	plotMode = *plot
+	parallelism = *parallel
 
 	all := artifacts()
 	if *list {
 		for _, a := range all {
 			fmt.Printf("%-8s %s\n", a.name, a.desc)
 		}
+		fmt.Printf("\nscenarios (runnable via -scenario): %s\n",
+			strings.Join(experiment.Names(), ", "))
+		return
+	}
+	if *scenario != "" {
+		s := experiment.Lookup(*scenario)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (known: %s)\n",
+				*scenario, strings.Join(experiment.Names(), ", "))
+			os.Exit(2)
+		}
+		if sl, ok := s.(experiment.Scalable); ok && *scale > 1 {
+			s = sl.Scaled(*scale)
+		}
+		fmt.Println(render(experiment.RunScenario(s, parallelism)))
 		return
 	}
 	want := map[string]bool{}

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
 
 func TestArtifactRegistry(t *testing.T) {
 	all := artifacts()
@@ -26,6 +30,36 @@ func TestArtifactRegistry(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("missing paper artifact %q", want)
 		}
+	}
+}
+
+// TestScenarioArtifactsComeFromRegistry: every registered scenario
+// must be runnable through the artifact table, in natural figure
+// order, so `-run figN` and `-scenario figN` reach the same code.
+func TestScenarioArtifactsComeFromRegistry(t *testing.T) {
+	byName := map[string]artifact{}
+	var order []string
+	for _, a := range artifacts() {
+		byName[a.name] = a
+		order = append(order, a.name)
+	}
+	for _, s := range experiment.Scenarios() {
+		a, ok := byName[s.Name()]
+		if !ok {
+			t.Errorf("registered scenario %q missing from artifact table", s.Name())
+			continue
+		}
+		if a.desc != s.Describe() {
+			t.Errorf("%s: artifact desc %q != scenario desc %q", s.Name(), a.desc, s.Describe())
+		}
+	}
+	// fig7 must precede fig10 despite lexicographic order.
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["fig7"] > pos["fig10"] {
+		t.Errorf("artifact order not natural: %v", order)
 	}
 }
 

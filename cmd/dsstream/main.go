@@ -8,12 +8,18 @@
 //	dsstream -testbed qbone -clip Lost -rate 1.7M -token 1.9M -depth 3000
 //	dsstream -testbed local -clip Lost -token 1.3M -depth 4500 -shape
 //	dsstream -testbed local -tcp -token 1.5M -trace out.trace
+//
+// With -scenario it instead regenerates a whole registered figure
+// scenario on the parallel runner:
+//
+//	dsstream -scenario fig7 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/client"
 	"repro/internal/experiment"
@@ -35,7 +41,35 @@ func main() {
 	tcp := flag.Bool("tcp", false, "local testbed: stream over TCP")
 	seed := flag.Uint64("seed", experiment.DefaultSeed, "simulation seed")
 	traceOut := flag.String("trace", "", "write the frame timing trace to this file")
+	scenario := flag.String("scenario", "", "run a registered figure scenario instead of a single stream")
+	parallel := flag.Int("parallel", 0, "scenario worker-pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
+
+	if *scenario != "" {
+		// The single-stream flags have no effect on a registered
+		// scenario; reject them rather than silently ignore them.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "parallel":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "-scenario runs a fixed figure configuration; %s cannot be combined with it\n",
+				strings.Join(conflicts, ", "))
+			os.Exit(2)
+		}
+		s := experiment.Lookup(*scenario)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (known: %s)\n",
+				*scenario, strings.Join(experiment.Names(), ", "))
+			os.Exit(2)
+		}
+		fmt.Print(experiment.RunScenario(s, *parallel).Format())
+		return
+	}
 
 	clip := video.ByName(*clipName)
 	if clip == nil {

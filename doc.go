@@ -12,8 +12,15 @@
 // measurement harness that regenerates every table and figure of the
 // paper (experiment).
 //
+// Figures are modelled as named scenarios (experiment.Scenario) and
+// executed on a deterministic worker pool (runner) that keeps output
+// byte-identical at every parallelism level.
+//
 // Entry points: cmd/dsbench regenerates all artifacts, cmd/dsstream
 // runs one experiment, cmd/vqmtool scores stored traces, and
 // examples/ holds runnable walkthroughs. bench_test.go in this
 // directory carries one benchmark per paper artifact.
+//
+// See README.md for the repository layout, the scenario registry, and
+// the verification commands.
 package repro

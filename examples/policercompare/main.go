@@ -9,11 +9,15 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/client"
 	"repro/internal/experiment"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/tokenbucket"
@@ -23,29 +27,59 @@ import (
 )
 
 func main() {
-	dropVsShape()
+	scenario := flag.String("scenario", "", "run a registered figure scenario instead of the ablations")
+	parallel := flag.Int("parallel", 0, "worker-pool size for the simulation grids (0 = all cores)")
+	flag.Parse()
+
+	if *scenario != "" {
+		s := experiment.Lookup(*scenario)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (known: %s)\n",
+				*scenario, strings.Join(experiment.Names(), ", "))
+			os.Exit(2)
+		}
+		fmt.Print(experiment.RunScenario(s, *parallel).Format())
+		return
+	}
+	dropVsShape(*parallel)
 	deathSpiral()
 	adaptive()
 }
 
-func dropVsShape() {
+func dropVsShape(parallel int) {
 	fmt.Println("== 1. Drop vs shape at the QBone border (Lost @ 1.7M) ==")
-	enc := video.EncodeCBR(video.Lost(), 1.7*units.Mbps)
+	enc := video.CachedCBR(video.Lost(), 1.7*units.Mbps)
 	fmt.Printf("%-10s %-8s %-14s %-14s\n", "Token", "Depth", "drop: QI", "shape: QI")
+	type cell struct {
+		tok   units.BitRate
+		depth units.ByteSize
+		shape bool
+	}
+	var cells []cell
 	for _, tok := range []units.BitRate{1.6e6, 1.75e6, 1.9e6} {
 		for _, depth := range []units.ByteSize{3000, 4500} {
-			run := func(shape bool) float64 {
-				q := topology.BuildQBone(topology.QBoneConfig{
-					Seed: experiment.DefaultSeed, Enc: enc,
-					TokenRate: tok, Depth: depth, Shape: shape,
-				})
-				q.Client.Tolerance = client.SliceTolerance
-				q.Run()
-				ev := experiment.Evaluate(q.Client.Trace(), enc, enc)
-				return ev.Quality
-			}
-			fmt.Printf("%-10v %-8d %-14.3f %-14.3f\n", tok, int64(depth), run(false), run(true))
+			cells = append(cells, cell{tok, depth, false}, cell{tok, depth, true})
 		}
+	}
+	// The whole grid fans out on the runner; results come back in cell
+	// order, so the table prints identically at every -parallel value.
+	jobs := make([]func() float64, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func() float64 {
+			q := topology.BuildQBone(topology.QBoneConfig{
+				Seed: experiment.DefaultSeed, Enc: enc,
+				TokenRate: c.tok, Depth: c.depth, Shape: c.shape,
+			})
+			q.Client.Tolerance = client.SliceTolerance
+			q.Run()
+			return experiment.Evaluate(q.Client.Trace(), enc, enc).Quality
+		}
+	}
+	quality := runner.Map(parallel, jobs)
+	for i := 0; i < len(cells); i += 2 {
+		fmt.Printf("%-10v %-8d %-14.3f %-14.3f\n",
+			cells[i].tok, int64(cells[i].depth), quality[i], quality[i+1])
 	}
 	fmt.Println()
 }

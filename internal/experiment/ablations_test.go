@@ -8,6 +8,7 @@ import "testing"
 // packets) streams perfectly; under heavy in-class load, quality
 // becomes a function of the committed rate.
 func TestAblationAFCrossTrafficDependence(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -41,6 +42,7 @@ func TestAblationAFCrossTrafficDependence(t *testing.T) {
 }
 
 func TestAblationJitterRuns(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -52,6 +54,7 @@ func TestAblationJitterRuns(t *testing.T) {
 }
 
 func TestAblationHopCountRuns(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -63,6 +66,7 @@ func TestAblationHopCountRuns(t *testing.T) {
 }
 
 func TestAblationShaperVsDrop(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -100,6 +104,7 @@ func TestAblationShaperVsDrop(t *testing.T) {
 }
 
 func TestEFServiceReport(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}

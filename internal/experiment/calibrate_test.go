@@ -10,6 +10,7 @@ import (
 // TestCalibrationQBoneLost17 prints the Figure-7 style curve at a few
 // rates; run with -v to inspect during model calibration.
 func TestCalibrationQBoneLost17(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("calibration sweep")
 	}

@@ -13,6 +13,7 @@ import (
 // see whether residual losses at the average token rate are spread or
 // clustered (model diagnostics; run with -v).
 func TestDropDistribution(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("diagnostic")
 	}

@@ -102,6 +102,7 @@ func TokenSweep(fromKbps, toKbps, stepKbps int) []units.BitRate {
 // encoded at one CBR rate, streamed for every (token rate, depth)
 // combination, scored against its own encoding.
 type QBoneSpec struct {
+	Key     string // registry name, e.g. "fig7"
 	ID      string
 	Title   string
 	Clip    *video.Clip
@@ -117,23 +118,52 @@ type QBoneSpec struct {
 	CrossLoad float64
 }
 
-// Run regenerates the figure.
-func (spec QBoneSpec) Run() *Figure {
-	enc := video.EncodeCBR(spec.Clip, spec.EncRate)
-	fig := &Figure{ID: spec.ID, Title: spec.Title}
+// Name implements Scenario.
+func (spec QBoneSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec QBoneSpec) Describe() string { return spec.Title }
+
+// Jobs enumerates one seed-averaged job per (depth, token) grid point,
+// in the figure's row-major order.
+func (spec QBoneSpec) Jobs() []Job {
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
 	runs := spec.Runs
 	if runs <= 0 {
 		runs = 3
 	}
+	var jobs []Job
 	for _, depth := range spec.Depths {
-		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
 		for _, tok := range spec.Tokens {
-			s.Points = append(s.Points, RunQBonePointAvg(enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs))
+			depth, tok := depth, tok
+			jobs = append(jobs, func() Point {
+				return RunQBonePointAvg(enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs)
+			})
 		}
+	}
+	return jobs
+}
+
+// Assemble implements Scenario: one series per depth, points in token
+// order.
+func (spec QBoneSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	for di, depth := range spec.Depths {
+		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
+		s.Points = append(s.Points, results[di*len(spec.Tokens):(di+1)*len(spec.Tokens)]...)
 		fig.Series = append(fig.Series, s)
 	}
 	return fig
 }
+
+// Scaled implements Scalable.
+func (spec QBoneSpec) Scaled(n int) Scenario {
+	spec.Tokens = Scale(spec.Tokens, n)
+	return spec
+}
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec QBoneSpec) Run() *Figure { return RunScenario(spec, 0) }
 
 // RunQBonePointAvg averages RunQBonePoint over consecutive seeds.
 func RunQBonePointAvg(enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
@@ -174,6 +204,7 @@ func RunQBonePoint(enc, ref *video.Encoding, tok units.BitRate, depth units.Byte
 // encodings of the same clip streamed at each token rate with a fixed
 // depth, all scored against the highest-quality (1.7 Mbps) encoding.
 type RelativeSpec struct {
+	Key      string // registry name, e.g. "fig13"
 	ID       string
 	Title    string
 	Clip     *video.Clip
@@ -185,34 +216,60 @@ type RelativeSpec struct {
 	Runs     int // seeds averaged per point; 0 means 3
 }
 
-// Run regenerates the figure.
-func (spec RelativeSpec) Run() *Figure {
-	ref := video.EncodeCBR(spec.Clip, spec.RefRate)
-	fig := &Figure{ID: spec.ID, Title: spec.Title}
+// Name implements Scenario.
+func (spec RelativeSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec RelativeSpec) Describe() string { return spec.Title }
+
+// Jobs enumerates one seed-averaged job per (encoding, token) grid
+// point. The cached-encoding layer guarantees the reference-rate
+// series streams the very *Encoding it is scored against, as the
+// serial code did.
+func (spec RelativeSpec) Jobs() []Job {
+	ref := video.CachedCBR(spec.Clip, spec.RefRate)
 	runs := spec.Runs
 	if runs <= 0 {
 		runs = 3
 	}
+	var jobs []Job
 	for _, er := range spec.EncRates {
-		var enc *video.Encoding
-		if er == spec.RefRate {
-			enc = ref
-		} else {
-			enc = video.EncodeCBR(spec.Clip, er)
-		}
-		s := Series{Label: er.String()}
+		enc := video.CachedCBR(spec.Clip, er)
 		for _, tok := range spec.Tokens {
-			s.Points = append(s.Points, RunQBonePointAvg(enc, ref, tok, spec.Depth, spec.Seed, 0, runs))
+			enc, tok := enc, tok
+			jobs = append(jobs, func() Point {
+				return RunQBonePointAvg(enc, ref, tok, spec.Depth, spec.Seed, 0, runs)
+			})
 		}
+	}
+	return jobs
+}
+
+// Assemble implements Scenario: one series per encoding rate.
+func (spec RelativeSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	for ei, er := range spec.EncRates {
+		s := Series{Label: er.String()}
+		s.Points = append(s.Points, results[ei*len(spec.Tokens):(ei+1)*len(spec.Tokens)]...)
 		fig.Series = append(fig.Series, s)
 	}
 	return fig
 }
 
+// Scaled implements Scalable.
+func (spec RelativeSpec) Scaled(n int) Scenario {
+	spec.Tokens = Scale(spec.Tokens, n)
+	return spec
+}
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec RelativeSpec) Run() *Figure { return RunScenario(spec, 0) }
+
 // LocalSpec parameterizes the Figs. 15–16 experiments: the WMV-encoded
 // Lost clip streamed over TCP through the local testbed, with or
 // without the Linux shaping router ahead of the dropping policer.
 type LocalSpec struct {
+	Key       string // registry name, e.g. "fig15"
 	ID        string
 	Title     string
 	Clip      *video.Clip
@@ -224,19 +281,46 @@ type LocalSpec struct {
 	Seed      uint64
 }
 
-// Run regenerates the figure.
-func (spec LocalSpec) Run() *Figure {
-	enc := video.EncodeVBR(spec.Clip, units.BitRate(spec.CapKbps)*units.Kbps)
-	fig := &Figure{ID: spec.ID, Title: spec.Title}
+// Name implements Scenario.
+func (spec LocalSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec LocalSpec) Describe() string { return spec.Title }
+
+// Jobs enumerates one job per (depth, token) grid point.
+func (spec LocalSpec) Jobs() []Job {
+	enc := video.CachedVBR(spec.Clip, units.BitRate(spec.CapKbps)*units.Kbps)
+	var jobs []Job
 	for _, depth := range spec.Depths {
-		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
 		for _, tok := range spec.Tokens {
-			s.Points = append(s.Points, RunLocalPoint(enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed))
+			depth, tok := depth, tok
+			jobs = append(jobs, func() Point {
+				return RunLocalPoint(enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed)
+			})
 		}
+	}
+	return jobs
+}
+
+// Assemble implements Scenario: one series per depth.
+func (spec LocalSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title}
+	for di, depth := range spec.Depths {
+		s := Series{Label: fmt.Sprintf("B=%d", int64(depth))}
+		s.Points = append(s.Points, results[di*len(spec.Tokens):(di+1)*len(spec.Tokens)]...)
 		fig.Series = append(fig.Series, s)
 	}
 	return fig
 }
+
+// Scaled implements Scalable.
+func (spec LocalSpec) Scaled(n int) Scenario {
+	spec.Tokens = Scale(spec.Tokens, n)
+	return spec
+}
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec LocalSpec) Run() *Figure { return RunScenario(spec, 0) }
 
 // RunLocalPoint streams enc through the local testbed and evaluates.
 func RunLocalPoint(enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {

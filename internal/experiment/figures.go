@@ -12,6 +12,24 @@ import (
 // check robustness of the shapes to the random stream.
 const DefaultSeed uint64 = 2001
 
+// The figure scenarios register here so commands can enumerate and
+// run them by name (dsbench -scenario fig7 -parallel 8). Clip models
+// are rebuilt per spec constructor, so registration costs no
+// simulation work — encodings happen lazily via the cache on first
+// Jobs() call.
+func init() {
+	Register(Figure7Spec())
+	Register(Figure8Spec())
+	Register(Figure9Spec())
+	Register(Figure10Spec())
+	Register(Figure11Spec())
+	Register(Figure12Spec())
+	Register(Figure13Spec())
+	Register(Figure14Spec())
+	Register(Figure15Spec())
+	Register(Figure16Spec())
+}
+
 // StandardDepths are the two APS burst sizes of the QBone experiments.
 func StandardDepths() []units.ByteSize { return []units.ByteSize{3000, 4500} }
 
@@ -35,7 +53,7 @@ func Scale(tokens []units.BitRate, n int) []units.BitRate {
 // Quality & Frame Loss vs Token Rate".
 func Figure7Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 7", Title: "QBone, Lost clip @ 1.7 Mbps: quality & frame loss vs token rate",
+		Key: "fig7", ID: "Figure 7", Title: "QBone, Lost clip @ 1.7 Mbps: quality & frame loss vs token rate",
 		Clip: video.Lost(), EncRate: 1.7e6,
 		Tokens: TokenSweep(1200, 2200, 100), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -44,7 +62,7 @@ func Figure7Spec() QBoneSpec {
 // Figure8Spec is the 1.5 Mbps Lost variant.
 func Figure8Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 8", Title: "QBone, Lost clip @ 1.5 Mbps: quality & frame loss vs token rate",
+		Key: "fig8", ID: "Figure 8", Title: "QBone, Lost clip @ 1.5 Mbps: quality & frame loss vs token rate",
 		Clip: video.Lost(), EncRate: 1.5e6,
 		Tokens: TokenSweep(1200, 2200, 100), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -53,7 +71,7 @@ func Figure8Spec() QBoneSpec {
 // Figure9Spec is the 1.0 Mbps Lost variant.
 func Figure9Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 9", Title: "QBone, Lost clip @ 1.0 Mbps: quality & frame loss vs token rate",
+		Key: "fig9", ID: "Figure 9", Title: "QBone, Lost clip @ 1.0 Mbps: quality & frame loss vs token rate",
 		Clip: video.Lost(), EncRate: 1.0e6,
 		Tokens: TokenSweep(700, 1100, 50), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -62,7 +80,7 @@ func Figure9Spec() QBoneSpec {
 // Figure10Spec is the 1.7 Mbps Dark variant.
 func Figure10Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 10", Title: "QBone, Dark clip @ 1.7 Mbps: quality & frame loss vs token rate",
+		Key: "fig10", ID: "Figure 10", Title: "QBone, Dark clip @ 1.7 Mbps: quality & frame loss vs token rate",
 		Clip: video.Dark(), EncRate: 1.7e6,
 		Tokens: TokenSweep(1200, 2200, 100), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -71,7 +89,7 @@ func Figure10Spec() QBoneSpec {
 // Figure11Spec is the 1.5 Mbps Dark variant.
 func Figure11Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 11", Title: "QBone, Dark clip @ 1.5 Mbps: quality & frame loss vs token rate",
+		Key: "fig11", ID: "Figure 11", Title: "QBone, Dark clip @ 1.5 Mbps: quality & frame loss vs token rate",
 		Clip: video.Dark(), EncRate: 1.5e6,
 		Tokens: TokenSweep(1200, 2200, 100), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -80,7 +98,7 @@ func Figure11Spec() QBoneSpec {
 // Figure12Spec is the 1.0 Mbps Dark variant.
 func Figure12Spec() QBoneSpec {
 	return QBoneSpec{
-		ID: "Figure 12", Title: "QBone, Dark clip @ 1.0 Mbps: quality & frame loss vs token rate",
+		Key: "fig12", ID: "Figure 12", Title: "QBone, Dark clip @ 1.0 Mbps: quality & frame loss vs token rate",
 		Clip: video.Dark(), EncRate: 1.0e6,
 		Tokens: TokenSweep(700, 1100, 50), Depths: StandardDepths(), Seed: DefaultSeed,
 	}
@@ -90,7 +108,7 @@ func Figure12Spec() QBoneSpec {
 // version) Quality for Dark Clip".
 func Figure13Spec() RelativeSpec {
 	return RelativeSpec{
-		ID: "Figure 13", Title: "Dark clip: relative quality vs 1.7 Mbps reference, B=3000",
+		Key: "fig13", ID: "Figure 13", Title: "Dark clip: relative quality vs 1.7 Mbps reference, B=3000",
 		Clip:     video.Dark(),
 		EncRates: []units.BitRate{1.5e6, 1.0e6, 1.7e6},
 		RefRate:  1.7e6,
@@ -102,7 +120,7 @@ func Figure13Spec() RelativeSpec {
 // Figure14Spec is the Lost-clip variant of Figure 13.
 func Figure14Spec() RelativeSpec {
 	return RelativeSpec{
-		ID: "Figure 14", Title: "Lost clip: relative quality vs 1.7 Mbps reference, B=3000",
+		Key: "fig14", ID: "Figure 14", Title: "Lost clip: relative quality vs 1.7 Mbps reference, B=3000",
 		Clip:     video.Lost(),
 		EncRates: []units.BitRate{1.5e6, 1.0e6, 1.7e6},
 		RefRate:  1.7e6,
@@ -115,7 +133,7 @@ func Figure14Spec() RelativeSpec {
 // Quality and Frame Loss vs Token Rate" with hard policing only.
 func Figure15Spec() LocalSpec {
 	return LocalSpec{
-		ID: "Figure 15", Title: "Local testbed, WMV Lost @ ~1 Mbps cap, drop policing",
+		Key: "fig15", ID: "Figure 15", Title: "Local testbed, WMV Lost @ ~1 Mbps cap, drop policing",
 		Clip: video.Lost(), CapKbps: video.WMVCapKbps,
 		Tokens: TokenSweep(500, 2500, 200), Depths: StandardDepths(),
 		UseShaper: false, UseTCP: false, Seed: DefaultSeed,
@@ -126,7 +144,7 @@ func Figure15Spec() LocalSpec {
 // router inserted ahead of the policer.
 func Figure16Spec() LocalSpec {
 	return LocalSpec{
-		ID: "Figure 16", Title: "Local testbed, WMV Lost @ ~1 Mbps cap, shaper + drop policing",
+		Key: "fig16", ID: "Figure 16", Title: "Local testbed, WMV Lost @ ~1 Mbps cap, shaper + drop policing",
 		Clip: video.Lost(), CapKbps: video.WMVCapKbps,
 		Tokens: TokenSweep(500, 2500, 200), Depths: StandardDepths(),
 		UseShaper: true, UseTCP: false, Seed: DefaultSeed,

@@ -19,6 +19,7 @@ import (
 // file), read it back, and score it offline. The score must be
 // identical to scoring the in-memory trace.
 func TestOfflinePipelineViaTraceFile(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -57,6 +58,7 @@ func TestOfflinePipelineViaTraceFile(t *testing.T) {
 // across seeds, not just the published one — the reproduction's
 // equivalent of the paper repeating runs.
 func TestSeedRobustness(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -79,12 +81,13 @@ func TestSeedRobustness(t *testing.T) {
 // output, byte for byte — the property that makes EXPERIMENTS.md
 // reproducible.
 func TestDeterministicFigures(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full simulation")
-	}
+	t.Parallel()
 	spec := Figure9Spec()
 	spec.Tokens = Scale(spec.Tokens, 8)
 	spec.Runs = 1
+	if testing.Short() {
+		spec.Tokens = spec.Tokens[:1]
+	}
 	a := spec.Run().Format()
 	b := spec.Run().Format()
 	if a != b {

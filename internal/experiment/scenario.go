@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// Scenario is a paper experiment decomposed for the runner: a figure
+// (or figure family) whose points are independent simulation jobs.
+//
+// Jobs returns one closure per point of the figure grid; each closure
+// builds its own simulator, so the slice can be executed on any number
+// of goroutines. Assemble receives the results **in job order** —
+// results[i] is what Jobs()[i] returned — and folds them back into the
+// figure. Because the fold only depends on the (deterministic) results
+// and their order, a Scenario produces byte-identical output at every
+// parallelism level.
+type Scenario interface {
+	// Name is the registry key, e.g. "fig7".
+	Name() string
+	// Describe is a one-line summary for listings.
+	Describe() string
+	// Jobs enumerates the independent simulation jobs of the grid.
+	Jobs() []Job
+	// Assemble folds job results (ordered by job index) into the figure.
+	Assemble(results []Point) *Figure
+}
+
+// Job is one independent simulation: it runs a full (possibly
+// seed-averaged) experiment and reduces it to a Point.
+type Job func() Point
+
+// Scalable is implemented by scenarios whose token sweep can be
+// thinned for quick passes (dsbench -scale).
+type Scalable interface {
+	Scenario
+	// Scaled returns a copy keeping every n-th token-sweep point.
+	Scaled(n int) Scenario
+}
+
+// RunScenario executes the scenario's jobs on a runner pool of the
+// given size (<= 0 means GOMAXPROCS, 1 means strictly serial) and
+// assembles the figure. This is the single execution path for every
+// figure: the serial and parallel cases differ only in worker count,
+// never in result.
+func RunScenario(s Scenario, parallel int) *Figure {
+	jobs := s.Jobs()
+	fns := make([]func() Point, len(jobs))
+	for i, j := range jobs {
+		fns[i] = j
+	}
+	return s.Assemble(runner.Map(parallel, fns))
+}
+
+// The scenario registry. Scenarios register at init time (figures.go);
+// commands list and select them by name.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario under its Name. Registering an empty or
+// duplicate name panics: both are wiring bugs worth failing loudly on.
+func Register(s Scenario) {
+	name := s.Name()
+	if name == "" {
+		panic("experiment: Register with empty scenario name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("experiment: duplicate scenario %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the scenario registered under name, or nil.
+func Lookup(name string) Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name]
+}
+
+// Names lists the registered scenario names in natural order: "fig7"
+// sorts before "fig10", so listings read in paper order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return naturalLess(out[i], out[j]) })
+	return out
+}
+
+// naturalLess compares names numerically where both share a leading
+// alphabetic prefix with a trailing integer ("fig7" < "fig10").
+func naturalLess(a, b string) bool {
+	pa, na, oka := splitTrailingInt(a)
+	pb, nb, okb := splitTrailingInt(b)
+	if oka && okb && pa == pb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitTrailingInt(s string) (prefix string, n int, ok bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, 0, false
+	}
+	for _, c := range s[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return s[:i], n, true
+}
+
+// Scenarios returns the registered scenarios sorted by name.
+func Scenarios() []Scenario {
+	names := Names()
+	out := make([]Scenario, len(names))
+	for i, n := range names {
+		out[i] = Lookup(n)
+	}
+	return out
+}

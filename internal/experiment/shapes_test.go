@@ -14,6 +14,7 @@ import (
 // heavier ones are skipped under -short.
 
 func TestShapeTokenRateBelowEncodingRateIsUseless(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -28,6 +29,7 @@ func TestShapeTokenRateBelowEncodingRateIsUseless(t *testing.T) {
 }
 
 func TestShapeDepth3000NeedsMaxRate(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -44,6 +46,7 @@ func TestShapeDepth3000NeedsMaxRate(t *testing.T) {
 }
 
 func TestShapeDepth4500AverageRateSuffices(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -63,6 +66,7 @@ func TestShapeDepth4500AverageRateSuffices(t *testing.T) {
 }
 
 func TestShapeNonlinearQualityVsLoss(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -88,6 +92,7 @@ func TestShapeNonlinearQualityVsLoss(t *testing.T) {
 }
 
 func TestShapeBestEncodingIsLargestBelowTokenRate(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -121,6 +126,7 @@ func TestShapeBestEncodingIsLargestBelowTokenRate(t *testing.T) {
 }
 
 func TestShapeLocalDepthGapIsLarge(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -142,6 +148,7 @@ func TestShapeLocalDepthGapIsLarge(t *testing.T) {
 }
 
 func TestShapeShapingHelps(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -157,13 +164,16 @@ func TestShapeShapingHelps(t *testing.T) {
 }
 
 func TestFigureSpecsRunScaled(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full simulation")
-	}
+	t.Parallel()
 	// Every figure spec must run end to end (scaled down) and produce
-	// well-formed, plottable output.
+	// well-formed, plottable output. Under -short the grid shrinks to
+	// the sweep endpoints with a single seed, so the path still runs.
 	spec := Figure9Spec()
 	spec.Tokens = Scale(spec.Tokens, 4)
+	if testing.Short() {
+		spec.Tokens = Scale(spec.Tokens, len(spec.Tokens))
+		spec.Runs = 1
+	}
 	fig := spec.Run()
 	if len(fig.Series) != 2 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -185,11 +195,12 @@ func TestFigureSpecsRunScaled(t *testing.T) {
 }
 
 func TestLocalSpecRunScaled(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full simulation")
-	}
+	t.Parallel()
 	spec := Figure15Spec()
 	spec.Tokens = Scale(spec.Tokens, 5)
+	if testing.Short() {
+		spec.Tokens = Scale(spec.Tokens, len(spec.Tokens))
+	}
 	fig := spec.Run()
 	if len(fig.Series) != 2 || len(fig.Series[0].Points) == 0 {
 		t.Fatal("malformed local figure")
@@ -197,11 +208,13 @@ func TestLocalSpecRunScaled(t *testing.T) {
 }
 
 func TestRelativeSpecRunScaled(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full simulation")
-	}
+	t.Parallel()
 	spec := Figure14Spec()
 	spec.Tokens = []units.BitRate{900 * units.Kbps, 2.1e6}
+	if testing.Short() {
+		spec.Tokens = spec.Tokens[:1]
+		spec.Runs = 1
+	}
 	fig := spec.Run()
 	if len(fig.Series) != 3 {
 		t.Fatalf("series = %d, want one per encoding", len(fig.Series))

@@ -8,6 +8,7 @@ import (
 )
 
 func TestRunQBonePointAvgSingleRunEqualsPoint(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}
@@ -20,6 +21,7 @@ func TestRunQBonePointAvgSingleRunEqualsPoint(t *testing.T) {
 }
 
 func TestRunQBonePointAvgReducesVariance(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}

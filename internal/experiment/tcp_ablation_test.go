@@ -3,6 +3,7 @@ package experiment
 import "testing"
 
 func TestAblationLocalTCP(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full simulation")
 	}

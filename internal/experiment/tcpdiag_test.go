@@ -11,6 +11,7 @@ import (
 // TestTCPDiag traces the TCP sender state through a lossy policer
 // (model diagnostics; run with -v).
 func TestTCPDiag(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("diagnostic")
 	}

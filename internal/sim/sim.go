@@ -19,15 +19,24 @@ type Event struct {
 	when   units.Time
 	seq    uint64
 	fn     func()
+	owner  *Simulator
 	index  int // heap index, -1 once popped or cancelled
 	cancel bool
 }
 
-// Cancel prevents the event from firing. Safe to call multiple times
-// and after the event has fired (then it is a no-op).
+// Cancel prevents the event from firing and removes it from the
+// owner's queue immediately, so cancelled events neither inflate
+// Pending() nor pin their closures until their timestamp is reached.
+// Safe to call multiple times and after the event has fired (then it
+// is a no-op).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancel = true
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.owner != nil && e.index >= 0 {
+		heap.Remove(&e.owner.queue, e.index)
+		e.fn = nil // release the closure and whatever it captures
 	}
 }
 
@@ -92,8 +101,9 @@ func (s *Simulator) RNG() *RNG { return s.rng }
 // Fired reports how many events have executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports how many events remain queued (including cancelled
-// ones that have not been reaped yet).
+// Pending reports how many live events remain queued. Cancelled
+// events are removed from the queue at Cancel time, so they never
+// count here.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in
@@ -103,7 +113,7 @@ func (s *Simulator) At(t units.Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn}
+	e := &Event{when: t, seq: s.seq, fn: fn, owner: s}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -140,6 +150,8 @@ func (s *Simulator) Run() units.Time {
 		}
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancel {
+			// Unreachable in normal operation — Cancel removes the
+			// event from the queue — but kept as a guard.
 			continue
 		}
 		s.now = e.when

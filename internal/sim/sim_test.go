@@ -52,6 +52,71 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New(1)
+	events := make([]*Event, 100)
+	for i := range events {
+		events[i] = s.At(units.Time(i+1)*units.Millisecond, func() {})
+	}
+	for i, e := range events {
+		if i%2 == 1 {
+			e.Cancel()
+		}
+	}
+	if s.Pending() != 50 {
+		t.Errorf("Pending = %d after cancelling half, want 50", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 50 {
+		t.Errorf("Fired = %d, want 50", s.Fired())
+	}
+}
+
+func TestCancelTwiceAndAfterFire(t *testing.T) {
+	s := New(1)
+	n := 0
+	e := s.At(units.Millisecond, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("event did not fire")
+	}
+	e.Cancel() // after firing: must be a no-op, not a heap corruption
+	e.Cancel() // and idempotent
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	// The queue must still work after post-fire cancels.
+	s.At(2*units.Millisecond, func() { n++ })
+	s.Run()
+	if n != 2 {
+		t.Errorf("n = %d after post-cancel schedule", n)
+	}
+}
+
+func TestCancelInterleavedKeepsOrdering(t *testing.T) {
+	// Removing from the middle of the heap must not disturb the
+	// (time, seq) ordering of the surviving events.
+	s := New(1)
+	var order []int
+	var cancels []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		e := s.At(units.Time(50-i)*units.Millisecond, func() { order = append(order, 50-i) })
+		if i%3 == 0 {
+			cancels = append(cancels, e)
+		}
+	}
+	for _, e := range cancels {
+		e.Cancel()
+	}
+	s.Run()
+	for j := 1; j < len(order); j++ {
+		if order[j] < order[j-1] {
+			t.Fatalf("ordering broken after mid-heap removals: %v", order)
+		}
+	}
+}
+
 func TestSchedulingInPastPanics(t *testing.T) {
 	s := New(1)
 	s.At(units.Second, func() {

@@ -1,0 +1,87 @@
+package video
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// The encoding cache. Encodings are deterministic functions of (clip
+// content, rate, mode), and the experiment grid asks for the same few
+// encodings over and over: every point of a figure, and several whole
+// figures, share one encoding. Caching them keeps the encoder out of
+// the per-point cost entirely and lets concurrent runner jobs share
+// the exact *Encoding value the serial path would have used.
+//
+// The key is (content fingerprint, rate, mode). The fingerprint hashes
+// the per-frame complexity stream — the only clip feature the encoders
+// read — so two clips produce the same cache slot exactly when they
+// would produce the same encoding, regardless of how they were named
+// or constructed (built-in vs Custom).
+
+type encKey struct {
+	clip   string
+	print  uint64
+	frames int
+	rate   units.BitRate
+	cbr    bool
+}
+
+// fingerprint hashes the encoder-facing content of the clip.
+func fingerprint(c *Clip) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range c.Complexity {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+var (
+	encMu    sync.Mutex
+	encCache = map[encKey]*Encoding{}
+)
+
+// CachedCBR returns the shared CBR encoding of c at rate, encoding it
+// on first use. Safe for concurrent use; the returned Encoding must be
+// treated as read-only (every caller already does: encodings are
+// immutable after construction).
+func CachedCBR(c *Clip, rate units.BitRate) *Encoding {
+	return cachedEncoding(c, rate, true)
+}
+
+// CachedVBR returns the shared VBR encoding of c capped at rate,
+// encoding it on first use. Safe for concurrent use.
+func CachedVBR(c *Clip, cap units.BitRate) *Encoding {
+	return cachedEncoding(c, cap, false)
+}
+
+func cachedEncoding(c *Clip, rate units.BitRate, cbr bool) *Encoding {
+	key := encKey{clip: c.Name, print: fingerprint(c), frames: c.FrameCount(), rate: rate, cbr: cbr}
+	encMu.Lock()
+	defer encMu.Unlock()
+	if e, ok := encCache[key]; ok {
+		return e
+	}
+	var e *Encoding
+	if cbr {
+		e = EncodeCBR(c, rate)
+	} else {
+		e = EncodeVBR(c, rate)
+	}
+	encCache[key] = e
+	return e
+}
+
+// ResetEncodingCache empties the cache (tests).
+func ResetEncodingCache() {
+	encMu.Lock()
+	defer encMu.Unlock()
+	encCache = map[encKey]*Encoding{}
+}
