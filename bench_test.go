@@ -152,6 +152,28 @@ func BenchmarkAblationHopCount(b *testing.B) {
 
 // --- Micro-benchmarks for the hot substrate paths ---
 
+// BenchmarkLinkHotPath measures the full per-packet link path —
+// enqueue, serialization event, propagation event, delivery — on a
+// delayed link. The transmit path is closure-free (pre-bound
+// callbacks), so allocs/op is the two heap events plus nothing else.
+func BenchmarkLinkHotPath(b *testing.B) {
+	s := sim.New(1)
+	var sink packet.Sink
+	l := link.New(s, 100*units.Mbps, units.Millisecond, queue.NewEFPriority(0, 0), &sink)
+	var p packet.Packet
+	p.Size = 1500
+	p.DSCP = packet.EF
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Handle(&p)
+		s.Run() // drain: one tx-done event, one delivery event
+	}
+	if sink.Count != b.N {
+		b.Fatalf("delivered %d of %d", sink.Count, b.N)
+	}
+}
+
 func BenchmarkTokenBucketConform(b *testing.B) {
 	tb := tokenbucket.NewBucket(2*units.Mbps, 3000)
 	now := units.Time(0)

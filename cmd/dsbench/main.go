@@ -8,6 +8,7 @@
 //	dsbench -scenario fig9            # one registered scenario
 //	dsbench -parallel 8               # worker-pool size (0 = all cores)
 //	dsbench -scale 4                  # thin token sweeps for a quick pass
+//	dsbench -json BENCH.json          # machine-readable scenario results
 //
 // Figure scenarios come from the experiment scenario registry and are
 // executed on the deterministic runner pool: -parallel changes only
@@ -15,11 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/link"
@@ -39,6 +42,75 @@ var plotMode bool
 // parallelism is set by the -parallel flag; 0 means GOMAXPROCS.
 var parallelism int
 
+// jsonPath is set by the -json flag; scenario artifacts then record
+// machine-readable results (points, wall time, parallelism) that main
+// writes out at exit, so BENCH_*.json perf trajectories can accumulate
+// across runs.
+var jsonPath string
+
+// jsonRecords collects one record per scenario artifact that ran.
+var jsonRecords []scenarioRecord
+
+type jsonPoint struct {
+	TokenRateBps float64 `json:"token_rate_bps"`
+	DepthBytes   int64   `json:"depth_bytes"`
+	Label        string  `json:"label,omitempty"`
+	FrameLoss    float64 `json:"frame_loss"`
+	Quality      float64 `json:"quality"`
+	PacketLoss   float64 `json:"packet_loss"`
+}
+
+type jsonSeries struct {
+	Label  string      `json:"label"`
+	Points []jsonPoint `json:"points"`
+}
+
+type scenarioRecord struct {
+	Name     string       `json:"name"`
+	Title    string       `json:"title"`
+	Parallel int          `json:"parallel"`
+	Scale    int          `json:"scale"`
+	WallMS   float64      `json:"wall_ms"`
+	Series   []jsonSeries `json:"series"`
+}
+
+func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale int) scenarioRecord {
+	rec := scenarioRecord{
+		Name: name, Title: fig.Title, Parallel: parallelism, Scale: scale,
+		WallMS: float64(wall.Microseconds()) / 1000,
+	}
+	for _, s := range fig.Series {
+		js := jsonSeries{Label: s.Label}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, jsonPoint{
+				TokenRateBps: float64(p.TokenRate), DepthBytes: int64(p.Depth),
+				Label: p.Label, FrameLoss: p.FrameLoss, Quality: p.Quality,
+				PacketLoss: p.PacketLoss,
+			})
+		}
+		rec.Series = append(rec.Series, js)
+	}
+	return rec
+}
+
+// writeJSON dumps the collected records ("-" means stdout).
+func writeJSON(path string) error {
+	out := struct {
+		Parallel  int              `json:"parallel"`
+		Scenarios []scenarioRecord `json:"scenarios"`
+	}{Parallel: parallelism, Scenarios: jsonRecords}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 func render(f *experiment.Figure) string {
 	out := f.Format()
 	if plotMode {
@@ -47,14 +119,20 @@ func render(f *experiment.Figure) string {
 	return out
 }
 
-// scenarioArtifact adapts a registered scenario to the artifact table.
+// scenarioArtifact adapts a registered scenario to the artifact table,
+// recording a JSON result when -json is set.
 func scenarioArtifact(s experiment.Scenario) artifact {
 	return artifact{s.Name(), s.Describe(), func(scale int) string {
 		sc := s
 		if sl, ok := sc.(experiment.Scalable); ok && scale > 1 {
 			sc = sl.Scaled(scale)
 		}
-		return render(experiment.RunScenario(sc, parallelism))
+		start := time.Now()
+		fig := experiment.RunScenario(sc, parallelism)
+		if jsonPath != "" {
+			jsonRecords = append(jsonRecords, makeRecord(sc.Name(), fig, time.Since(start), scale))
+		}
+		return render(fig)
 	}}
 }
 
@@ -136,9 +214,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = all cores, 1 = serial)")
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
+	jsonFlag := flag.String("json", "", "write per-scenario results as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 	plotMode = *plot
 	parallelism = *parallel
+	jsonPath = *jsonFlag
 
 	all := artifacts()
 	if *list {
@@ -156,10 +236,13 @@ func main() {
 				*scenario, strings.Join(experiment.Names(), ", "))
 			os.Exit(2)
 		}
-		if sl, ok := s.(experiment.Scalable); ok && *scale > 1 {
-			s = sl.Scaled(*scale)
+		fmt.Println(scenarioArtifact(s).run(*scale))
+		if jsonPath != "" {
+			if err := writeJSON(jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
-		fmt.Println(render(experiment.RunScenario(s, parallelism)))
 		return
 	}
 	want := map[string]bool{}
@@ -191,5 +274,11 @@ func main() {
 		}
 		fmt.Println(strings.Repeat("=", 72))
 		fmt.Println(a.run(*scale))
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiment"
@@ -71,5 +75,67 @@ func TestStaticArtifactsRender(t *testing.T) {
 				t.Errorf("%s output suspiciously short: %q", a.name, out)
 			}
 		}
+	}
+}
+
+// fakeScenario is a no-simulation scenario for exercising the JSON
+// recording path.
+type fakeScenario struct{}
+
+func (fakeScenario) Name() string     { return "fake" }
+func (fakeScenario) Describe() string { return "fake scenario" }
+func (fakeScenario) Jobs() []experiment.Job {
+	return []experiment.Job{
+		func() experiment.Point {
+			return experiment.Point{
+				TokenRate: 1.5e6, Depth: 3000, Label: "N=2",
+				Evaluation: experiment.Evaluation{FrameLoss: 0.25, Quality: 0.5, PacketLoss: 0.1},
+			}
+		},
+	}
+}
+func (fakeScenario) Assemble(results []experiment.Point) *experiment.Figure {
+	return &experiment.Figure{ID: "F", Title: "fake title", XLabel: "Flows",
+		Series: []experiment.Series{{Label: "s", Points: results}}}
+}
+
+func TestJSONRecording(t *testing.T) {
+	oldPath, oldRecords, oldParallel := jsonPath, jsonRecords, parallelism
+	defer func() { jsonPath, jsonRecords, parallelism = oldPath, oldRecords, oldParallel }()
+	jsonPath = filepath.Join(t.TempDir(), "bench.json")
+	jsonRecords = nil
+	parallelism = 2
+
+	if out := scenarioArtifact(fakeScenario{}).run(1); !strings.Contains(out, "fake title") {
+		t.Fatalf("artifact did not render: %q", out)
+	}
+	if len(jsonRecords) != 1 {
+		t.Fatalf("recorded %d scenarios, want 1", len(jsonRecords))
+	}
+	if err := writeJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Parallel  int              `json:"parallel"`
+		Scenarios []scenarioRecord `json:"scenarios"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON written: %v\n%s", err, data)
+	}
+	if got.Parallel != 2 || len(got.Scenarios) != 1 {
+		t.Fatalf("bad envelope: %+v", got)
+	}
+	rec := got.Scenarios[0]
+	if rec.Name != "fake" || rec.Parallel != 2 || rec.Scale != 1 || rec.WallMS < 0 {
+		t.Errorf("bad record: %+v", rec)
+	}
+	p := rec.Series[0].Points[0]
+	if p.TokenRateBps != 1.5e6 || p.DepthBytes != 3000 || p.Label != "N=2" ||
+		p.FrameLoss != 0.25 || p.Quality != 0.5 || p.PacketLoss != 0.1 {
+		t.Errorf("bad point: %+v", p)
 	}
 }

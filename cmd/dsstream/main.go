@@ -16,8 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,24 +34,37 @@ import (
 )
 
 func main() {
-	testbed := flag.String("testbed", "qbone", "qbone or local")
-	clipName := flag.String("clip", "Lost", "Lost or Dark")
-	rateStr := flag.String("rate", "1.7M", "encoding rate (qbone: CBR target; local uses the WMV cap)")
-	tokenStr := flag.String("token", "1.9M", "policer token rate")
-	depth := flag.Int64("depth", 3000, "token bucket depth in bytes")
-	shape := flag.Bool("shape", false, "shape instead of (qbone) / ahead of (local) the dropping policer")
-	tcp := flag.Bool("tcp", false, "local testbed: stream over TCP")
-	seed := flag.Uint64("seed", experiment.DefaultSeed, "simulation seed")
-	traceOut := flag.String("trace", "", "write the frame timing trace to this file")
-	scenario := flag.String("scenario", "", "run a registered figure scenario instead of a single stream")
-	parallel := flag.Int("parallel", 0, "scenario worker-pool size (0 = all cores, 1 = serial)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the command logic
+// is testable in-process. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsstream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	testbed := fs.String("testbed", "qbone", "qbone or local")
+	clipName := fs.String("clip", "Lost", "Lost or Dark")
+	rateStr := fs.String("rate", "1.7M", "encoding rate (qbone: CBR target; local uses the WMV cap)")
+	tokenStr := fs.String("token", "1.9M", "policer token rate")
+	depth := fs.Int64("depth", 3000, "token bucket depth in bytes")
+	shape := fs.Bool("shape", false, "shape instead of (qbone) / ahead of (local) the dropping policer")
+	tcp := fs.Bool("tcp", false, "local testbed: stream over TCP")
+	seed := fs.Uint64("seed", experiment.DefaultSeed, "simulation seed")
+	traceOut := fs.String("trace", "", "write the frame timing trace to this file")
+	scenario := fs.String("scenario", "", "run a registered figure scenario instead of a single stream")
+	parallel := fs.Int("parallel", 0, "scenario worker-pool size (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *scenario != "" {
 		// The single-stream flags have no effect on a registered
 		// scenario; reject them rather than silently ignore them.
 		var conflicts []string
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "scenario", "parallel":
 			default:
@@ -57,29 +72,29 @@ func main() {
 			}
 		})
 		if len(conflicts) > 0 {
-			fmt.Fprintf(os.Stderr, "-scenario runs a fixed figure configuration; %s cannot be combined with it\n",
+			fmt.Fprintf(stderr, "-scenario runs a fixed figure configuration; %s cannot be combined with it\n",
 				strings.Join(conflicts, ", "))
-			os.Exit(2)
+			return 2
 		}
 		s := experiment.Lookup(*scenario)
 		if s == nil {
-			fmt.Fprintf(os.Stderr, "unknown scenario %q (known: %s)\n",
+			fmt.Fprintf(stderr, "unknown scenario %q (known: %s)\n",
 				*scenario, strings.Join(experiment.Names(), ", "))
-			os.Exit(2)
+			return 2
 		}
-		fmt.Print(experiment.RunScenario(s, *parallel).Format())
-		return
+		fmt.Fprint(stdout, experiment.RunScenario(s, *parallel).Format())
+		return 0
 	}
 
 	clip := video.ByName(*clipName)
 	if clip == nil {
-		fmt.Fprintf(os.Stderr, "unknown clip %q\n", *clipName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown clip %q\n", *clipName)
+		return 2
 	}
 	token, err := units.ParseBitRate(*tokenStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	var tr *trace.Trace
@@ -90,8 +105,8 @@ func main() {
 	case "qbone":
 		rate, err := units.ParseBitRate(*rateStr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		enc = video.EncodeCBR(clip, rate)
 		q := topology.BuildQBone(topology.QBoneConfig{
@@ -117,8 +132,8 @@ func main() {
 		tr = l.Trace()
 		pktLoss = l.Policer.LossFraction()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown testbed %q\n", *testbed)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown testbed %q\n", *testbed)
+		return 2
 	}
 
 	decoded := tr
@@ -128,27 +143,28 @@ func main() {
 	d := render.Conceal(decoded, render.DefaultOptions())
 	res := vqm.Score(d, enc, enc, vqm.Options{})
 
-	fmt.Printf("testbed:        %s\n", *testbed)
-	fmt.Printf("encoding:       %s\n", enc.Name)
-	fmt.Printf("token rate:     %v, depth %d B, shape=%v\n", token, *depth, *shape)
-	fmt.Printf("packet loss:    %.4f\n", pktLoss)
-	fmt.Printf("frame loss:     %.4f (%d of %d frames)\n",
+	fmt.Fprintf(stdout, "testbed:        %s\n", *testbed)
+	fmt.Fprintf(stdout, "encoding:       %s\n", enc.Name)
+	fmt.Fprintf(stdout, "token rate:     %v, depth %d B, shape=%v\n", token, *depth, *shape)
+	fmt.Fprintf(stdout, "packet loss:    %.4f\n", pktLoss)
+	fmt.Fprintf(stdout, "frame loss:     %.4f (%d of %d frames)\n",
 		decoded.FrameLossFraction(), decoded.LostFrames(), decoded.ClipFrames)
-	fmt.Printf("freeze slots:   %d (longest %d)\n", d.Repeats, d.LongestFreeze())
-	fmt.Printf("VQM index:      %.3f  (0 = perfect, 1 = worst)\n", res.Index)
-	fmt.Printf("calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
+	fmt.Fprintf(stdout, "freeze slots:   %d (longest %d)\n", d.Repeats, d.LongestFreeze())
+	fmt.Fprintf(stdout, "VQM index:      %.3f  (0 = perfect, 1 = worst)\n", res.Index)
+	fmt.Fprintf(stdout, "calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		if _, err := tr.WriteTo(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("trace written:  %s\n", *traceOut)
+		fmt.Fprintf(stdout, "trace written:  %s\n", *traceOut)
 	}
+	return 0
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the command in-process, returning (exit, stdout,
+// stderr).
+func runCmd(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown testbed", []string{"-testbed", "mars"}, "unknown testbed"},
+		{"unknown clip", []string{"-clip", "Nosuch"}, "unknown clip"},
+		{"bad token rate", []string{"-token", "fast"}, ""},
+		{"bad encoding rate", []string{"-testbed", "qbone", "-rate", "x"}, ""},
+		{"unknown scenario", []string{"-scenario", "fig99"}, "unknown scenario"},
+		{"scenario flag conflict", []string{"-scenario", "fig7", "-token", "1M"}, "cannot be combined"},
+		{"undefined flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSingleStreamSmoke runs one real (fast) local stream end to end,
+// including the trace-file output — this stays enabled under -short.
+func TestSingleStreamSmoke(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.trace")
+	code, stdout, stderr := runCmd(
+		"-testbed", "local", "-clip", "Lost",
+		"-token", "2M", "-depth", "4500", "-tcp",
+		"-trace", tracePath,
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"testbed:        local", "packet loss:", "frame loss:", "VQM index:", "trace written:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q:\n%s", want, stdout)
+		}
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+}
+
+// TestScenarioSmoke exercises the -scenario path. The full figure grid
+// is benchmark-scale, so this runs only without -short.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure scenario is too heavy for -short")
+	}
+	code, stdout, stderr := runCmd("-scenario", "fig9", "-parallel", "0")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Figure 9") {
+		t.Errorf("scenario output missing figure header:\n%s", stdout)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCmd("-h")
+	if code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-testbed") {
+		t.Errorf("-h printed no usage:\n%s", stderr)
+	}
+}

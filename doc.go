@@ -4,17 +4,21 @@
 // deterministic packet-level simulation study in pure Go.
 //
 // The library lives under internal/: a discrete-event simulator (sim),
-// the DiffServ data plane (packet, tokenbucket, queue, link, node),
-// traffic sources (traffic), the video content and encoder models
-// (video), streaming servers (server, tcpsim), the instrumented client
-// and renderer-concealment pipeline (client, render, trace), the
-// objective quality model (vqm), the two testbeds (topology) and the
-// measurement harness that regenerates every table and figure of the
-// paper (experiment).
+// the DiffServ data plane (packet, tokenbucket, queue, link, node —
+// with strict-priority, DRR, WFQ and RED/RIO schedulers behind one
+// per-class-accounted Scheduler interface), traffic sources (traffic),
+// the video content and encoder models (video), streaming servers
+// (server, tcpsim), the instrumented client and renderer-concealment
+// pipeline (client, render, trace), the objective quality model (vqm),
+// the declarative network-graph builder with the paper testbeds as
+// presets (topology) and the measurement harness that regenerates
+// every table and figure of the paper (experiment).
 //
 // Figures are modelled as named scenarios (experiment.Scenario) and
 // executed on a deterministic worker pool (runner) that keeps output
-// byte-identical at every parallelism level.
+// byte-identical at every parallelism level. Beyond the paper's
+// figures, the registry carries scaling scenarios (N competing flows,
+// bottleneck-scheduler comparison) built on the topology builder.
 //
 // Entry points: cmd/dsbench regenerates all artifacts, cmd/dsstream
 // runs one experiment, cmd/vqmtool scores stored traces, and

@@ -159,10 +159,19 @@ type AFPoint struct {
 // AF class at a congested hop. Swept over CIR and in-class load, it
 // shows the cross-traffic dependence the authors called out.
 func AblationAF(seed uint64) []AFPoint {
+	return AblationAFGrid(seed,
+		[]float64{0.15, 0.45, 0.75},
+		[]units.BitRate{0.6e6, 1.0e6, 1.4e6})
+}
+
+// AblationAFGrid runs the AF experiment over an explicit (load, CIR)
+// grid — the full ablation uses the default grid, reduced grids serve
+// the preset golden tests.
+func AblationAFGrid(seed uint64, loads []float64, cirs []units.BitRate) []AFPoint {
 	enc := video.EncodeCBR(video.Lost(), 1.0e6)
 	var out []AFPoint
-	for _, load := range []float64{0.15, 0.45, 0.75} {
-		for _, cir := range []units.BitRate{0.6e6, 1.0e6, 1.4e6} {
+	for _, load := range loads {
+		for _, cir := range cirs {
 			a := topology.BuildAF(topology.AFConfig{
 				Seed: seed, Enc: enc, CIR: cir, AFLoad: load,
 			})

@@ -43,11 +43,24 @@ func Evaluate(tr *trace.Trace, recv, ref *video.Encoding) Evaluation {
 	}
 }
 
-// Point is one sweep sample.
+// Point is one sweep sample. Label optionally overrides the row label
+// for scenarios whose x-axis is not a token rate (flow count, cross
+// load); Flows carries per-flow evaluations for multi-flow scenarios
+// (the embedded Evaluation is then the across-flow mean).
 type Point struct {
 	TokenRate units.BitRate
 	Depth     units.ByteSize
+	Label     string
 	Evaluation
+	Flows []Evaluation
+}
+
+// rowLabel is what the figure table prints in the first column.
+func (p Point) rowLabel() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return p.TokenRate.String()
 }
 
 // Series is one curve of a figure.
@@ -60,6 +73,7 @@ type Series struct {
 type Figure struct {
 	ID     string
 	Title  string
+	XLabel string // first-column header; "" means "TokenRate"
 	Series []Series
 }
 
@@ -68,7 +82,11 @@ type Figure struct {
 func (f *Figure) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
-	fmt.Fprintf(&b, "%-12s", "TokenRate")
+	x := f.XLabel
+	if x == "" {
+		x = "TokenRate"
+	}
+	fmt.Fprintf(&b, "%-12s", x)
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, " | %-10s %-10s", "Loss("+s.Label+")", "QI("+s.Label+")")
 	}
@@ -77,7 +95,7 @@ func (f *Figure) Format() string {
 		return b.String()
 	}
 	for i := range f.Series[0].Points {
-		fmt.Fprintf(&b, "%-12s", f.Series[0].Points[i].TokenRate)
+		fmt.Fprintf(&b, "%-12s", f.Series[0].Points[i].rowLabel())
 		for _, s := range f.Series {
 			if i < len(s.Points) {
 				p := s.Points[i]

@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// This file holds the first scenarios beyond the paper's single-flow
+// figures, built on the declarative topology builder: an N-flow
+// scaling sweep and a bottleneck-scheduler comparison. Both register
+// in the scenario registry, so dsbench runs them on the parallel
+// runner exactly like the paper figures.
+
+func init() {
+	Register(NFlowSweepSpec())
+	Register(SchedCompareSpecDefault())
+}
+
+// evaluateMultiFlow runs one multi-flow simulation and folds the
+// per-flow traces into a Point: the embedded Evaluation is the
+// across-flow mean, Flows keeps each flow's own scores.
+func evaluateMultiFlow(cfg topology.MultiFlowConfig, enc *video.Encoding, label string, tok units.BitRate, depth units.ByteSize) Point {
+	m := topology.BuildMultiFlow(cfg)
+	m.Run()
+	pt := Point{TokenRate: tok, Depth: depth, Label: label}
+	for _, cl := range m.Clients {
+		ev := Evaluate(cl.Trace(), enc, enc)
+		pt.Flows = append(pt.Flows, ev)
+		pt.FrameLoss += ev.FrameLoss
+		pt.Quality += ev.Quality
+		pt.Calibration += ev.Calibration
+	}
+	n := float64(len(pt.Flows))
+	pt.FrameLoss /= n
+	pt.Quality /= n
+	pt.PacketLoss = m.AggregatePolicerLoss()
+	return pt
+}
+
+// worstFlow picks the flow with the worst (highest) quality index.
+func worstFlow(p Point) Evaluation {
+	worst := p.Evaluation
+	for i, ev := range p.Flows {
+		if i == 0 || ev.Quality > worst.Quality {
+			worst = ev
+		}
+	}
+	return worst
+}
+
+// MultiFlowSpec sweeps the number of concurrent video flows competing
+// through one DiffServ bottleneck — the scenario family the paper's
+// fixed single-flow testbeds could not express.
+type MultiFlowSpec struct {
+	Key   string
+	ID    string
+	Title string
+	Clip  *video.Clip
+
+	EncRate        units.BitRate
+	Ns             []int // flow counts to sweep
+	TokenRate      units.BitRate
+	Depth          units.ByteSize
+	BottleneckRate units.BitRate
+	Sched          topology.BottleneckSched
+	BELoad         float64
+	Seed           uint64
+}
+
+// NFlowSweepSpec is the registered N-flow scenario: 1 Mbps Lost
+// streams, each policed into EF at 1.3 Mbps, sharing a 6 Mbps strictly
+// prioritized bottleneck — the sweep crosses the point where the EF
+// aggregate overruns the link.
+func NFlowSweepSpec() MultiFlowSpec {
+	return MultiFlowSpec{
+		Key: "nflow", ID: "Scaling A",
+		Title: "N Lost @ 1.0M flows through one 6 Mbps EF bottleneck",
+		Clip:  video.Lost(), EncRate: 1.0e6,
+		Ns:        []int{1, 2, 4, 6, 8},
+		TokenRate: 1.3e6, Depth: 4500,
+		BottleneckRate: 6e6, Sched: topology.PriorityBottleneck,
+		BELoad: 0.15, Seed: DefaultSeed,
+	}
+}
+
+// Name implements Scenario.
+func (spec MultiFlowSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec MultiFlowSpec) Describe() string { return spec.Title }
+
+// Jobs enumerates one simulation per flow count.
+func (spec MultiFlowSpec) Jobs() []Job {
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	var jobs []Job
+	for _, n := range spec.Ns {
+		n := n
+		jobs = append(jobs, func() Point {
+			return evaluateMultiFlow(topology.MultiFlowConfig{
+				Seed: spec.Seed, Enc: enc, N: n,
+				TokenRate: spec.TokenRate, Depth: spec.Depth,
+				BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+				BELoad: spec.BELoad,
+			}, enc, fmt.Sprintf("N=%d", n), spec.TokenRate, spec.Depth)
+		})
+	}
+	return jobs
+}
+
+// Assemble implements Scenario: a mean-across-flows series and a
+// worst-flow series, one row per N.
+func (spec MultiFlowSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title, XLabel: "Flows"}
+	mean := Series{Label: "mean"}
+	worst := Series{Label: "worst"}
+	for _, p := range results {
+		mean.Points = append(mean.Points, p)
+		wp := p
+		wp.Evaluation = worstFlow(p)
+		wp.Flows = nil
+		worst.Points = append(worst.Points, wp)
+	}
+	fig.Series = append(fig.Series, mean, worst)
+	return fig
+}
+
+// Scaled implements Scalable: keep every n-th flow count (endpoints
+// always).
+func (spec MultiFlowSpec) Scaled(n int) Scenario {
+	spec.Ns = scaleInts(spec.Ns, n)
+	return spec
+}
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec MultiFlowSpec) Run() *Figure { return RunScenario(spec, 0) }
+
+// SchedCompareSpec compares bottleneck scheduling disciplines —
+// strict priority vs DRR vs WFQ — at a fixed video load while the
+// competing AF and best-effort aggregates sweep from light to
+// overload. Priority protects EF unconditionally; DRR and WFQ cap the
+// EF class at its configured share, so the overload rows expose the
+// isolation-vs-fairness trade the PHB choice makes.
+type SchedCompareSpec struct {
+	Key   string
+	ID    string
+	Title string
+	Clip  *video.Clip
+
+	EncRate        units.BitRate
+	N              int // concurrent video flows
+	TokenRate      units.BitRate
+	Depth          units.ByteSize
+	BottleneckRate units.BitRate
+	Loads          []float64 // total competing load fraction, split AF/BE
+	Seed           uint64
+}
+
+// SchedCompareSpecDefault is the registered scheduler-comparison
+// scenario.
+func SchedCompareSpecDefault() SchedCompareSpec {
+	return SchedCompareSpec{
+		Key: "schedcomp", ID: "Scaling B",
+		Title: "Bottleneck schedulers under rising cross load (3× Lost @ 1.0M, 6 Mbps)",
+		Clip:  video.Lost(), EncRate: 1.0e6,
+		N:         3,
+		TokenRate: 1.3e6, Depth: 4500,
+		BottleneckRate: 6e6,
+		Loads:          []float64{0.5, 1.0, 1.5},
+		Seed:           DefaultSeed,
+	}
+}
+
+// Name implements Scenario.
+func (spec SchedCompareSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec SchedCompareSpec) Describe() string { return spec.Title }
+
+// Jobs enumerates one simulation per (scheduler, load) grid point, in
+// scheduler-major order.
+func (spec SchedCompareSpec) Jobs() []Job {
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	var jobs []Job
+	for _, sched := range topology.BottleneckSchedulers() {
+		for _, load := range spec.Loads {
+			sched, load := sched, load
+			jobs = append(jobs, func() Point {
+				return evaluateMultiFlow(topology.MultiFlowConfig{
+					Seed: spec.Seed, Enc: enc, N: spec.N,
+					TokenRate: spec.TokenRate, Depth: spec.Depth,
+					BottleneckRate: spec.BottleneckRate, Sched: sched,
+					AFLoad: load / 2, BELoad: load / 2,
+				}, enc, fmt.Sprintf("load=%.2f", load), spec.TokenRate, spec.Depth)
+			})
+		}
+	}
+	return jobs
+}
+
+// Assemble implements Scenario: one series per scheduler.
+func (spec SchedCompareSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title, XLabel: "CrossLoad"}
+	for si, sched := range topology.BottleneckSchedulers() {
+		s := Series{Label: sched.String()}
+		s.Points = append(s.Points, results[si*len(spec.Loads):(si+1)*len(spec.Loads)]...)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Scaled implements Scalable: thin the load sweep.
+func (spec SchedCompareSpec) Scaled(n int) Scenario {
+	spec.Loads = scaleFloats(spec.Loads, n)
+	return spec
+}
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec SchedCompareSpec) Run() *Figure { return RunScenario(spec, 0) }
+
+// scaleInts keeps every n-th entry, always keeping the endpoints.
+func scaleInts(xs []int, n int) []int {
+	if n <= 1 || len(xs) <= 2 {
+		return xs
+	}
+	var out []int
+	for i := 0; i < len(xs); i += n {
+		out = append(out, xs[i])
+	}
+	if out[len(out)-1] != xs[len(xs)-1] {
+		out = append(out, xs[len(xs)-1])
+	}
+	return out
+}
+
+// scaleFloats keeps every n-th entry, always keeping the endpoints.
+func scaleFloats(xs []float64, n int) []float64 {
+	if n <= 1 || len(xs) <= 2 {
+		return xs
+	}
+	var out []float64
+	for i := 0; i < len(xs); i += n {
+		out = append(out, xs[i])
+	}
+	if out[len(out)-1] != xs[len(xs)-1] {
+		out = append(out, xs[len(xs)-1])
+	}
+	return out
+}

@@ -24,6 +24,19 @@ type Link struct {
 	Next  packet.Handler
 
 	busy bool
+	cur  *packet.Packet // packet on the wire
+
+	// Pre-bound callbacks so the hot path schedules no per-packet
+	// closures: txDone fires at serialization end, deliver at
+	// propagation end. Bound once in New (or lazily on first Handle
+	// for zero-value construction).
+	txDone  func()
+	deliver func()
+
+	// inflight holds packets in propagation, delivery order. Constant
+	// Delay means deliveries complete FIFO, so a ring suffices.
+	inflight     []*packet.Packet
+	inflightHead int
 
 	Sent      int
 	SentBytes int64
@@ -37,7 +50,16 @@ func New(s *sim.Simulator, rate units.BitRate, delay units.Time, sched queue.Sch
 	if sched == nil {
 		sched = queue.NewSingleFIFO(0)
 	}
-	return &Link{Sim: s, Rate: rate, Delay: delay, Sched: sched, Next: next}
+	l := &Link{Sim: s, Rate: rate, Delay: delay, Sched: sched, Next: next}
+	l.bind()
+	return l
+}
+
+// bind caches the method-value callbacks (each `l.method` expression
+// allocates a fresh closure, so they are materialized exactly once).
+func (l *Link) bind() {
+	l.txDone = l.finishTx
+	l.deliver = l.deliverHead
 }
 
 // Handle enqueues p for transmission.
@@ -57,20 +79,53 @@ func (l *Link) transmitNext() {
 		l.busy = false
 		return
 	}
+	if l.txDone == nil {
+		l.bind() // zero-value Link constructed without New
+	}
 	l.busy = true
+	l.cur = p
 	tx := l.Rate.TxTime(p.Size)
 	l.BusyTime += tx
-	l.Sim.After(tx, func() {
-		l.Sent++
-		l.SentBytes += int64(p.Size)
-		// Propagation: deliver after Delay without blocking the wire.
-		if l.Delay > 0 {
-			l.Sim.After(l.Delay, func() { l.Next.Handle(p) })
-		} else {
-			l.Next.Handle(p)
+	l.Sim.After(tx, l.txDone)
+}
+
+// finishTx runs at serialization end: account the packet, hand it to
+// propagation (or directly to Next on a zero-delay link), and start
+// the next transmission.
+func (l *Link) finishTx() {
+	p := l.cur
+	l.cur = nil
+	l.Sent++
+	l.SentBytes += int64(p.Size)
+	if l.Delay > 0 {
+		l.inflight = append(l.inflight, p)
+		l.Sim.After(l.Delay, l.deliver)
+	} else {
+		l.Next.Handle(p)
+	}
+	l.transmitNext()
+}
+
+// deliverHead completes propagation of the oldest in-flight packet.
+// The consumed prefix is compacted away once it dominates the slice,
+// so memory stays proportional to the packets concurrently in
+// propagation (~Delay/TxTime) even on a continuously busy link.
+func (l *Link) deliverHead() {
+	p := l.inflight[l.inflightHead]
+	l.inflight[l.inflightHead] = nil
+	l.inflightHead++
+	if l.inflightHead == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.inflightHead = 0
+	} else if l.inflightHead >= 32 && l.inflightHead*2 >= len(l.inflight) {
+		n := copy(l.inflight, l.inflight[l.inflightHead:])
+		for i := n; i < len(l.inflight); i++ {
+			l.inflight[i] = nil
 		}
-		l.transmitNext()
-	})
+		l.inflight = l.inflight[:n]
+		l.inflightHead = 0
+	}
+	l.Next.Handle(p)
 }
 
 // Utilization reports the fraction of elapsed time spent transmitting.

@@ -75,6 +75,16 @@ func NewRouter(name string, deflt packet.Handler) *Router {
 	return &Router{Name: name, deflt: deflt}
 }
 
+// SetDefault replaces the router's default (unmatched-traffic) action.
+// The topology builder uses it to wire forward references after all
+// elements exist; it must not be called once packets are flowing.
+func (r *Router) SetDefault(h packet.Handler) {
+	if h == nil {
+		h = packet.HandlerFunc(func(*packet.Packet) {})
+	}
+	r.deflt = h
+}
+
 // AddRule appends a policy rule and returns it for stats inspection.
 func (r *Router) AddRule(name string, m Classifier, action packet.Handler) *Rule {
 	rule := &Rule{Name: name, Match: m, Action: action}

@@ -43,3 +43,8 @@ func (s *AFScheduler) Dequeue() *packet.Packet {
 
 // Len reports total queued packets.
 func (s *AFScheduler) Len() int { return s.AF.Len() + s.BE.Len() }
+
+// Classes reports the RIO in/out classes followed by best effort.
+func (s *AFScheduler) Classes() []ClassStats {
+	return append(s.AF.Classes(), s.BE.Stats("be"))
+}

@@ -1,8 +1,19 @@
 // Package queue provides the buffer-management and scheduling
-// mechanisms a DiffServ core router needs: drop-tail FIFOs, a strict
-// priority scheduler (the paper's routers served EF from "a simple
-// priority queue structure", §3.2.1.2), and RED / RIO for the Assured
-// Forwarding extension.
+// mechanisms a DiffServ router port needs. Three families of
+// work-conserving schedulers are available behind the uniform
+// Scheduler interface:
+//
+//   - strict priority (the paper's core configuration: EF served from
+//     "a simple priority queue structure", §3.2.1.2), plus plain FIFOs;
+//   - deficit round robin (DRR) and self-clocked weighted fair queueing
+//     (WFQ), for class-isolated sharing of a bottleneck among several
+//     behavior aggregates;
+//   - RED / RIO active queue management for the Assured Forwarding
+//     extension.
+//
+// Every scheduler reports per-class accounting through Classes(), so
+// the measurement harness can ask any port "what did each class
+// enqueue, drop, and hold" without knowing the scheduling discipline.
 package queue
 
 import (
@@ -19,8 +30,10 @@ type FIFO struct {
 	pkts  []*packet.Packet
 	bytes int64
 
-	Enqueued int
-	Dropped  int
+	Enqueued      int
+	Dropped       int
+	EnqueuedBytes int64
+	DroppedBytes  int64
 }
 
 // Len reports the number of queued packets.
@@ -34,15 +47,18 @@ func (q *FIFO) Bytes() int64 { return q.bytes }
 func (q *FIFO) Push(p *packet.Packet) bool {
 	if q.MaxPackets > 0 && len(q.pkts) >= q.MaxPackets {
 		q.Dropped++
+		q.DroppedBytes += int64(p.Size)
 		return false
 	}
 	if q.MaxBytes > 0 && q.bytes+int64(p.Size) > q.MaxBytes {
 		q.Dropped++
+		q.DroppedBytes += int64(p.Size)
 		return false
 	}
 	q.pkts = append(q.pkts, p)
 	q.bytes += int64(p.Size)
 	q.Enqueued++
+	q.EnqueuedBytes += int64(p.Size)
 	return true
 }
 
@@ -66,6 +82,25 @@ func (q *FIFO) Peek() *packet.Packet {
 	return q.pkts[0]
 }
 
+// ClassStats is the uniform per-class counter set every Scheduler
+// exposes: what the class admitted, dropped, and currently holds.
+type ClassStats struct {
+	Name        string
+	Queued      int   // packets currently queued
+	QueuedBytes int64 // bytes currently queued
+	Enqueued    int   // packets admitted since start
+	Dropped     int   // packets rejected since start
+	Bytes       int64 // bytes admitted since start
+}
+
+// Stats snapshots the FIFO's counters as a named class.
+func (q *FIFO) Stats(name string) ClassStats {
+	return ClassStats{
+		Name: name, Queued: q.Len(), QueuedBytes: q.Bytes(),
+		Enqueued: q.Enqueued, Dropped: q.Dropped, Bytes: q.EnqueuedBytes,
+	}
+}
+
 // Scheduler selects the next packet to transmit from a set of queues.
 type Scheduler interface {
 	// Enqueue admits p to the appropriate queue; reports false on drop.
@@ -74,6 +109,9 @@ type Scheduler interface {
 	Dequeue() *packet.Packet
 	// Len reports the total queued packets.
 	Len() int
+	// Classes snapshots per-class accounting, in the scheduler's
+	// class order.
+	Classes() []ClassStats
 }
 
 // Priority is a strict two-level priority scheduler: packets whose
@@ -126,6 +164,11 @@ func (s *Priority) Dequeue() *packet.Packet {
 // Len reports total queued packets.
 func (s *Priority) Len() int { return s.High.Len() + s.Low.Len() }
 
+// Classes reports the high and low class counters.
+func (s *Priority) Classes() []ClassStats {
+	return []ClassStats{s.High.Stats("high"), s.Low.Stats("low")}
+}
+
 // SingleFIFO adapts a FIFO to the Scheduler interface (a best-effort
 // only interface).
 type SingleFIFO struct{ Q FIFO }
@@ -143,3 +186,8 @@ func (s *SingleFIFO) Dequeue() *packet.Packet { return s.Q.Pop() }
 
 // Len reports queued packets.
 func (s *SingleFIFO) Len() int { return s.Q.Len() }
+
+// Classes reports the single class's counters.
+func (s *SingleFIFO) Classes() []ClassStats {
+	return []ClassStats{s.Q.Stats("fifo")}
+}

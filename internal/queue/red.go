@@ -86,6 +86,16 @@ func (r *RED) Enqueue(p *packet.Packet) bool {
 // Dequeue removes the head packet.
 func (r *RED) Dequeue() *packet.Packet { return r.fifo.Pop() }
 
+// Classes reports the single RED class, folding early and forced
+// drops into one count.
+func (r *RED) Classes() []ClassStats {
+	return []ClassStats{{
+		Name: "red", Queued: r.fifo.Len(), QueuedBytes: r.fifo.Bytes(),
+		Enqueued: r.Enqueued, Dropped: r.EarlyDrops + r.ForcedDrops,
+		Bytes: r.fifo.EnqueuedBytes,
+	}}
+}
+
 // RIO ("RED with In and Out") gives marked-in (green) packets a more
 // permissive RED profile than out-of-profile (yellow/red) packets in
 // the same physical queue — the droppers behind the AF PHB group.
@@ -99,11 +109,16 @@ type RIO struct {
 	avgAll            float64
 	countIn, countOut int
 
-	inQueued int // in-profile packets currently queued
+	inQueued      int   // in-profile packets currently queued
+	inQueuedBytes int64 // bytes of in-profile packets currently queued
 
-	Enqueued int
-	DropsIn  int
-	DropsOut int
+	Enqueued    int
+	EnqueuedIn  int
+	EnqueuedOut int
+	BytesIn     int64
+	BytesOut    int64
+	DropsIn     int
+	DropsOut    int
 }
 
 // NewRIO returns a RIO queue. in should be more permissive than out.
@@ -164,6 +179,12 @@ func (r *RIO) Enqueue(p *packet.Packet) bool {
 	}
 	if in {
 		r.inQueued++
+		r.inQueuedBytes += int64(p.Size)
+		r.EnqueuedIn++
+		r.BytesIn += int64(p.Size)
+	} else {
+		r.EnqueuedOut++
+		r.BytesOut += int64(p.Size)
 	}
 	r.Enqueued++
 	return true
@@ -174,6 +195,23 @@ func (r *RIO) Dequeue() *packet.Packet {
 	p := r.fifo.Pop()
 	if p != nil && p.Color == packet.Green {
 		r.inQueued--
+		r.inQueuedBytes -= int64(p.Size)
 	}
 	return p
+}
+
+// Classes reports the in- and out-of-profile accounting of the shared
+// RIO queue.
+func (r *RIO) Classes() []ClassStats {
+	return []ClassStats{
+		{
+			Name: "in", Queued: r.inQueued, QueuedBytes: r.inQueuedBytes,
+			Enqueued: r.EnqueuedIn, Dropped: r.DropsIn, Bytes: r.BytesIn,
+		},
+		{
+			Name: "out", Queued: r.fifo.Len() - r.inQueued,
+			QueuedBytes: r.fifo.Bytes() - r.inQueuedBytes,
+			Enqueued:    r.EnqueuedOut, Dropped: r.DropsOut, Bytes: r.BytesOut,
+		},
+	}
 }

@@ -17,6 +17,8 @@
 package server
 
 import (
+	"sync/atomic"
+
 	"repro/internal/client"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -31,12 +33,12 @@ const UDPHeader = 28
 // MaxUDPPayload is the payload that fits one Ethernet MTU.
 const MaxUDPPayload = units.EthernetMTU - UDPHeader
 
-var idCounter uint64
+// idCounter is atomic because independent simulations run
+// concurrently on the experiment runner pool; ids only need to be
+// unique and non-zero.
+var idCounter atomic.Uint64
 
-func nextID() uint64 {
-	idCounter++
-	return idCounter
-}
+func nextID() uint64 { return idCounter.Add(1) }
 
 // Paced streams an encoding over UDP, sending each frame's packets
 // evenly spaced across a fraction of the frame interval — the

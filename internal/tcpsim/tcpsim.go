@@ -13,6 +13,8 @@
 package tcpsim
 
 import (
+	"sync/atomic"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -129,12 +131,12 @@ func (t *Sender) sendSegment(seq int64, size int, retrans bool) {
 	t.Out.Handle(p)
 }
 
-var idCounter uint64
+// idCounter is atomic because independent simulations run
+// concurrently on the experiment runner pool; ids only need to be
+// unique and non-zero.
+var idCounter atomic.Uint64
 
-func nextID() uint64 {
-	idCounter++
-	return idCounter
-}
+func nextID() uint64 { return idCounter.Add(1) }
 
 // armRTO starts the retransmission timer if it is not already
 // running. The timer tracks the *oldest* outstanding segment, so

@@ -38,6 +38,10 @@ func NewPolicer(clock Clock, rate units.BitRate, depth units.ByteSize, mark pack
 // OnDrop registers an observer that receives each dropped packet.
 func (p *Policer) OnDrop(h packet.Handler) { p.drop = h }
 
+// SetNext redirects conformant traffic to h (topology-builder wiring;
+// not for use once packets are flowing).
+func (p *Policer) SetNext(h packet.Handler) { p.next = h }
+
 // Bucket exposes the underlying bucket (for tests and inspection).
 func (p *Policer) Bucket() *Bucket { return p.bucket }
 
@@ -93,6 +97,10 @@ type Shaper struct {
 func NewShaper(s *sim.Simulator, rate units.BitRate, depth units.ByteSize, mark packet.DSCP, next packet.Handler) *Shaper {
 	return &Shaper{sim: s, bucket: NewBucket(rate, depth), mark: mark, next: next, maxQueue: 1024}
 }
+
+// SetNext redirects the shaper's output to h (topology-builder
+// wiring; not for use once packets are flowing).
+func (sh *Shaper) SetNext(h packet.Handler) { sh.next = h }
 
 // SetQueueLimit bounds the shaper's waiting room.
 func (sh *Shaper) SetQueueLimit(n int) {

@@ -163,6 +163,10 @@ func NewAFMarkerTR(clock Clock, m *TRTCM, next packet.Handler) *AFMarker {
 	return &AFMarker{clock: clock, trtcm: m, next: next}
 }
 
+// SetNext redirects marked traffic to h (topology-builder wiring; not
+// for use once packets are flowing).
+func (a *AFMarker) SetNext(h packet.Handler) { a.next = h }
+
 // Handle colors and forwards pkt.
 func (a *AFMarker) Handle(pkt *packet.Packet) {
 	now := a.clock.Now()

@@ -9,7 +9,6 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/tokenbucket"
-	"repro/internal/traffic"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -57,6 +56,7 @@ func (c AFConfig) withDefaults() AFConfig {
 // AF is a built Assured Forwarding experiment.
 type AF struct {
 	Sim        *sim.Simulator
+	Net        *Network
 	Server     *server.Paced
 	Client     *client.UDP
 	Marker     *tokenbucket.AFMarker
@@ -64,55 +64,60 @@ type AF struct {
 	Sched      *queue.AFScheduler
 }
 
-// BuildAF wires: paced server → srTCM marker (green/yellow/red →
-// AF11/12/13) → bottleneck link with a RIO AF queue and competing
-// AF-marked and best-effort cross traffic → client access → client.
-// Unlike EF, nothing is dropped at the edge: conformance only changes
-// the drop precedence inside the network.
+// BuildAF declares on the Builder: paced server → srTCM marker
+// (green/yellow/red → AF11/12/13) → bottleneck link with a RIO AF
+// queue and competing AF-marked and best-effort cross traffic → client
+// access → client. Unlike EF, nothing is dropped at the edge:
+// conformance only changes the drop precedence inside the network.
 func BuildAF(cfg AFConfig) *AF {
 	cfg = cfg.withDefaults()
-	s := sim.New(cfg.Seed)
-	a := &AF{Sim: s}
+	b := NewBuilder(cfg.Seed)
+	a := &AF{Sim: b.Sim()}
 
-	a.Client = client.NewUDP(s, cfg.Enc.Clip.FrameCount())
+	a.Client = client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
 	a.Client.Tolerance = client.SliceTolerance
-	access := link.New(s, 10*units.Mbps, units.Millisecond, queue.NewSingleFIFO(0), a.Client)
+	b.Handler("client", a.Client)
+	b.Link("access", LinkSpec{Rate: 10 * units.Mbps, Delay: units.Millisecond,
+		Sched: PlainFIFO(0), To: "client"})
 
 	// Bottleneck with the AF PHB: in-profile (green) protected by the
 	// permissive RIO profile, yellow/red exposed to the congestion.
-	rng := s.RNG().Fork()
 	in := queue.REDConfig{MinTh: 40, MaxTh: 60, MaxP: 0.02, Wq: 0.002, MaxSize: 80}
 	out := queue.REDConfig{MinTh: 8, MaxTh: 25, MaxP: 0.3, Wq: 0.002, MaxSize: 80}
-	a.Sched = queue.NewAFScheduler(in, out, rng.Float64, 100)
-	a.Bottleneck = link.New(s, cfg.BottleneckRate, 5*units.Millisecond, a.Sched, access)
+	b.Link("bottleneck", LinkSpec{Rate: cfg.BottleneckRate, Delay: 5 * units.Millisecond,
+		Sched: AFRIO(in, out, 100), To: "access"})
 
 	// Competing traffic: an AF-marked aggregate (alternating colors —
 	// someone else's partially conformant traffic) and best effort.
 	if cfg.AFLoad > 0 {
-		af := &traffic.Poisson{
-			Sim: s, Rate: units.BitRate(cfg.AFLoad * float64(cfg.BottleneckRate)),
-			Size: units.EthernetMTU, Flow: 900, DSCP: packet.AF12, Next: a.Bottleneck,
-		}
-		af.Start()
+		b.Source("af-cross", SourceSpec{
+			Kind: PoissonSource, Rate: units.BitRate(cfg.AFLoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 900, DSCP: packet.AF12, To: "bottleneck",
+		})
 	}
 	if cfg.BELoad > 0 {
-		be := &traffic.Poisson{
-			Sim: s, Rate: units.BitRate(cfg.BELoad * float64(cfg.BottleneckRate)),
-			Size: units.EthernetMTU, Flow: 901, DSCP: packet.BestEffort, Next: a.Bottleneck,
-		}
-		be.Start()
+		b.Source("be-cross", SourceSpec{
+			Kind: PoissonSource, Rate: units.BitRate(cfg.BELoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 901, DSCP: packet.BestEffort, To: "bottleneck",
+		})
 	}
 
 	// Edge: classify the video flow into the srTCM marker.
-	srtcm := tokenbucket.NewSRTCM(cfg.CIR, cfg.CBS, cfg.EBS)
-	a.Marker = tokenbucket.NewAFMarkerSR(s, srtcm, a.Bottleneck)
-	edge := node.NewRouter("af-edge", a.Bottleneck)
-	edge.AddRule("video-af", node.FlowMatch(VideoFlow), a.Marker)
+	b.AFMarkerSR("marker", cfg.CIR, cfg.CBS, cfg.EBS, "bottleneck")
+	b.Router("af-edge", "bottleneck")
+	b.Rule("af-edge", "video-af", node.FlowMatch(VideoFlow), "marker")
 
-	jit := &link.Jitter{Sim: s, Max: 3 * units.Millisecond, Next: edge}
-	campus := link.New(s, 100*units.Mbps, 500*units.Microsecond, queue.NewSingleFIFO(0), jit)
+	b.Jitter("jit", 3*units.Millisecond, "af-edge")
+	b.Link("campus", LinkSpec{Rate: 100 * units.Mbps, Delay: 500 * units.Microsecond,
+		Sched: PlainFIFO(0), To: "jit"})
 
-	a.Server = &server.Paced{Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: campus}
+	net := b.MustBuild()
+	a.Net = net
+	a.Marker = net.AFMarker("marker")
+	a.Bottleneck = net.Link("bottleneck")
+	a.Sched = a.Bottleneck.Sched.(*queue.AFScheduler)
+
+	a.Server = &server.Paced{Sim: a.Sim, Enc: cfg.Enc, Flow: VideoFlow, Next: net.Handler("campus")}
 	return a
 }
 

@@ -5,13 +5,11 @@ import (
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
-	"repro/internal/queue"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/tokenbucket"
 	"repro/internal/trace"
-	"repro/internal/traffic"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -57,6 +55,7 @@ func (c LocalConfig) withDefaults() LocalConfig {
 // Local is a built local-testbed experiment.
 type Local struct {
 	Sim     *sim.Simulator
+	Net     *Network
 	Policer *tokenbucket.Policer
 	Shaper  *tokenbucket.Shaper
 
@@ -73,83 +72,90 @@ type Local struct {
 	enc *video.Encoding
 }
 
-// BuildLocal wires Fig. 4: server host → hub → (optional Linux
-// shaper) → router 1 (classifier + EF policer, drop) → FR/HSSI 2 Mbps
-// → router 2 → FR/V.35 2 Mbps (the E1 bottleneck) → router 3 → client.
+// BuildLocal declares Fig. 4 on the Builder: server host → hub →
+// (optional Linux shaper) → router 1 (classifier + EF policer, drop) →
+// FR/HSSI 2 Mbps → router 2 → FR/V.35 2 Mbps (the E1 bottleneck) →
+// router 3 → client. Router 3 classifies positionally — everything
+// goes to its port — so it needs no policy rules and is represented by
+// the port link alone.
 func BuildLocal(cfg LocalConfig) *Local {
 	cfg = cfg.withDefaults()
-	s := sim.New(cfg.Seed)
-	l := &Local{Sim: s, enc: cfg.Enc}
+	b := NewBuilder(cfg.Seed)
+	l := &Local{Sim: b.Sim(), enc: cfg.Enc}
 	frames := cfg.Enc.Clip.FrameCount()
 
 	fr := link.Table1()
 
-	// Receive side first (chain is built back to front).
-	var clientSide packet.Handler
-	var ackBack packet.Handler // reverse path for TCP ACKs
-	if cfg.UseTCP {
-		l.TCPClient = client.NewStream(s, frames)
-	} else {
-		l.UDPClient = client.NewUDP(s, frames)
-		clientSide = l.UDPClient
-	}
-
-	// Router 3 → client hub (fast Ethernet).
+	// Receive-side endpoint: the UDP client directly, or a late-bound
+	// hook into the TCP receiver (constructed after Build).
 	var deliver packet.Handler
 	if cfg.UseTCP {
+		l.TCPClient = client.NewStream(b.Sim(), frames)
 		deliver = packet.HandlerFunc(func(p *packet.Packet) { l.Receiver.Handle(p) })
 	} else {
-		deliver = clientSide
+		l.UDPClient = client.NewUDP(b.Sim(), frames)
+		deliver = l.UDPClient
 	}
-	hub2 := link.New(s, 10*units.Mbps, 200*units.Microsecond, queue.NewSingleFIFO(0), deliver)
+	b.Handler("deliver", deliver)
 
-	// Router 3: BA classifier, EF priority port.
-	r3port := link.NewFrameRelay(s, fr[3], units.Millisecond, queue.NewEFPriority(100, 100), hub2)
-	router3 := node.NewRouter("router3", r3port)
-	_ = router3 // classification is positional: everything goes to the port
-	// Router 2: V.35 bottleneck toward router 3.
-	r2port := link.NewFrameRelay(s, fr[0], units.Millisecond, queue.NewEFPriority(100, 100), r3port)
-	// Router 1: HSSI toward router 2, EF policer on the video flow.
-	r1port := link.NewFrameRelay(s, fr[2], units.Millisecond, queue.NewEFPriority(100, 100), r2port)
+	// Router 3 → client hub (fast Ethernet), then the FR chain.
+	b.Link("hub2", LinkSpec{Rate: 10 * units.Mbps, Delay: 200 * units.Microsecond,
+		Sched: PlainFIFO(0), To: "deliver"})
+	b.FrameRelayLink("r3port", fr[3], units.Millisecond, EFPriority(100, 100), "hub2")
+	b.FrameRelayLink("r2port", fr[0], units.Millisecond, EFPriority(100, 100), "r3port")
+	b.FrameRelayLink("r1port", fr[2], units.Millisecond, EFPriority(100, 100), "r2port")
 
-	l.Policer = tokenbucket.NewPolicer(s, cfg.TokenRate, cfg.Depth, packet.EF, r1port)
-	router1 := node.NewRouter("router1", r1port)
-	router1.AddRule("video", node.FlowMatch(VideoFlow), l.Policer)
+	// Router 1: EF policer on the video flow, everything else straight
+	// to the HSSI port.
+	b.Policer("policer", cfg.TokenRate, cfg.Depth, packet.EF, "r1port")
+	b.Router("router1", "r1port")
+	b.Rule("router1", "video", node.FlowMatch(VideoFlow), "policer")
 
 	// Optional Linux shaping router between server hub and router 1.
-	var ingress packet.Handler = router1
+	ingress := "router1"
 	if cfg.UseShaper {
-		l.Shaper = tokenbucket.NewShaper(s, cfg.ShaperRate, cfg.ShaperDepth, packet.BestEffort, router1)
-		l.Shaper.SetQueueLimit(200)
-		ingress = l.Shaper
+		ingress = "shaper"
+		b.Shaper("shaper", cfg.ShaperRate, cfg.ShaperDepth, packet.BestEffort, 200, "router1")
 	}
 
 	// Server hub: host NIC serialization.
-	hub1 := link.New(s, cfg.HostRate, 200*units.Microsecond, queue.NewSingleFIFO(0), ingress)
+	b.Link("hub1", LinkSpec{Rate: cfg.HostRate, Delay: 200 * units.Microsecond,
+		Sched: PlainFIFO(0), To: ingress})
 
 	if cfg.CrossTraffic {
-		cross := &traffic.OnOff{
-			Sim: s, PeakRate: 1.5 * units.Mbps, MeanOn: 200 * units.Millisecond,
-			MeanOff: 400 * units.Millisecond, Flow: 99, DSCP: packet.BestEffort,
-			Next: r2port,
-		}
-		cross.Start()
+		b.Source("cross", SourceSpec{
+			Kind: OnOffSource, Rate: 1.5 * units.Mbps,
+			MeanOn: 200 * units.Millisecond, MeanOff: 400 * units.Millisecond,
+			Flow: 99, DSCP: packet.BestEffort, To: "r2port",
+		})
 	}
 
 	if cfg.UseTCP {
 		// ACKs return over an uncongested reverse path.
-		ackBack = link.New(s, 10*units.Mbps, 2*units.Millisecond, queue.NewSingleFIFO(0),
-			packet.HandlerFunc(func(p *packet.Packet) { l.Sender.HandleAck(p) }))
-		l.Sender = tcpsim.NewSender(s, VideoFlow, hub1)
+		b.Handler("sender-ack", packet.HandlerFunc(func(p *packet.Packet) { l.Sender.HandleAck(p) }))
+		b.Link("ackback", LinkSpec{Rate: 10 * units.Mbps, Delay: 2 * units.Millisecond,
+			Sched: PlainFIFO(0), To: "sender-ack"})
+	}
+
+	net := b.MustBuild()
+	l.Net = net
+	l.Policer = net.Policer("policer")
+	if cfg.UseShaper {
+		l.Shaper = net.Shaper("shaper")
+	}
+
+	hub1 := net.Handler("hub1")
+	if cfg.UseTCP {
+		l.Sender = tcpsim.NewSender(l.Sim, VideoFlow, hub1)
 		l.Sender.LimitedTransmit = cfg.LimitedTransmit
 		asm := &client.StreamAssembler{}
-		l.Receiver = tcpsim.NewReceiver(s, VideoFlow, ackBack, func(n int64) {
+		l.Receiver = tcpsim.NewReceiver(l.Sim, VideoFlow, net.Handler("ackback"), func(n int64) {
 			l.TCPClient.OnDelivered(asm, n)
 		})
-		l.TCPServer = &server.WMTTCP{Sim: s, Enc: cfg.Enc, Sender: l.Sender, Asm: asm}
+		l.TCPServer = &server.WMTTCP{Sim: l.Sim, Enc: cfg.Enc, Sender: l.Sender, Asm: asm}
 	} else {
 		l.UDPServer = &server.WMTUDP{
-			Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: hub1, HostRate: cfg.HostRate,
+			Sim: l.Sim, Enc: cfg.Enc, Flow: VideoFlow, Next: hub1, HostRate: cfg.HostRate,
 		}
 	}
 	return l

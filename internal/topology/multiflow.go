@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/link"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/tokenbucket"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// BottleneckSched selects the scheduling discipline of the shared
+// bottleneck in the multi-flow topology.
+type BottleneckSched int
+
+// Bottleneck scheduler kinds.
+const (
+	// PriorityBottleneck serves EF strictly first (the paper's core
+	// configuration).
+	PriorityBottleneck BottleneckSched = iota
+	// DRRBottleneck shares the port by deficit round robin across
+	// EF / AF / best-effort classes (quanta 4500/3000/1500).
+	DRRBottleneck
+	// WFQBottleneck shares the port by weighted fair queueing across
+	// EF / AF / best-effort classes (weights 3/2/1).
+	WFQBottleneck
+)
+
+// String names the scheduler kind.
+func (k BottleneckSched) String() string {
+	switch k {
+	case PriorityBottleneck:
+		return "priority"
+	case DRRBottleneck:
+		return "drr"
+	case WFQBottleneck:
+		return "wfq"
+	default:
+		return fmt.Sprintf("BottleneckSched(%d)", int(k))
+	}
+}
+
+// BottleneckSchedulers lists the kinds the scheduler-comparison
+// scenario sweeps.
+func BottleneckSchedulers() []BottleneckSched {
+	return []BottleneckSched{PriorityBottleneck, DRRBottleneck, WFQBottleneck}
+}
+
+func (k BottleneckSched) spec(classLimit int) SchedulerSpec {
+	afMatch := queue.MatchDSCP(packet.AF11, packet.AF12, packet.AF13)
+	switch k {
+	case DRRBottleneck:
+		return DRRSched(
+			queue.ClassSpec{Name: "ef", Match: queue.MatchDSCP(packet.EF), Quantum: 4500, Limit: classLimit},
+			queue.ClassSpec{Name: "af", Match: afMatch, Quantum: 3000, Limit: classLimit},
+			queue.ClassSpec{Name: "be", Quantum: 1500, Limit: classLimit},
+		)
+	case WFQBottleneck:
+		return WFQSched(
+			queue.ClassSpec{Name: "ef", Match: queue.MatchDSCP(packet.EF), Weight: 3, Limit: classLimit},
+			queue.ClassSpec{Name: "af", Match: afMatch, Weight: 2, Limit: classLimit},
+			queue.ClassSpec{Name: "be", Weight: 1, Limit: classLimit},
+		)
+	default:
+		return EFPriority(classLimit, classLimit)
+	}
+}
+
+// MultiFlowConfig parameterizes the N-flow scaling topology: N
+// identical video streams, each edge-policed into EF, competing with
+// AF-marked and best-effort aggregates for one DiffServ bottleneck.
+// This is the first topology beyond the paper's single-flow figures —
+// built entirely on the declarative Builder.
+type MultiFlowConfig struct {
+	Seed uint64
+	Enc  *video.Encoding // shared by every flow (use the cached encodings)
+	N    int             // video flow count; default 2
+
+	TokenRate units.BitRate  // per-flow APS profile; default 1.3×enc nominal is the caller's business
+	Depth     units.ByteSize // per-flow burst size; default 4500
+
+	BottleneckRate units.BitRate   // default 10 Mbps
+	Sched          BottleneckSched // bottleneck discipline; default strict priority
+
+	AFLoad float64 // AF-marked competing load fraction of the bottleneck; default 0
+	BELoad float64 // best-effort load fraction; default 0.15
+
+	// Stagger offsets each flow's start so GoP structures do not
+	// align; default 331 ms per flow (coprime-ish with the frame
+	// interval).
+	Stagger units.Time
+}
+
+func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
+	if c.N == 0 {
+		c.N = 2
+	}
+	if c.Depth == 0 {
+		c.Depth = 4500
+	}
+	if c.BottleneckRate == 0 {
+		c.BottleneckRate = 10 * units.Mbps
+	}
+	if c.BELoad == 0 {
+		c.BELoad = 0.15
+	}
+	if c.Stagger == 0 {
+		c.Stagger = 331 * units.Millisecond
+	}
+	return c
+}
+
+// MultiFlow is a built N-flow experiment.
+type MultiFlow struct {
+	Sim        *sim.Simulator
+	Net        *Network
+	Servers    []*server.Paced
+	Clients    []*client.UDP
+	Policers   []*tokenbucket.Policer
+	Bottleneck *link.Link
+
+	enc     *video.Encoding
+	stagger units.Time
+}
+
+// flowID maps flow index to the packet flow id (flow 0 keeps the
+// single-flow experiments' VideoFlow id).
+func flowID(i int) packet.FlowID { return VideoFlow + packet.FlowID(i) }
+
+// BuildMultiFlow declares the N-flow graph: per flow a paced server →
+// campus link → jitter → EF policer → shared bottleneck; the
+// bottleneck's scheduler is selectable; a demux router fans flows back
+// out to per-flow clients and drops the cross traffic.
+func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
+	cfg = cfg.withDefaults()
+	b := NewBuilder(cfg.Seed)
+	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, stagger: cfg.Stagger}
+
+	// Receive side: one client per flow behind a demux router; cross
+	// traffic that crosses the bottleneck is absorbed by the default
+	// sink.
+	var sink packet.Sink
+	b.Handler("sink", &sink)
+	b.Router("demux", "sink")
+	for i := 0; i < cfg.N; i++ {
+		cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
+		cl.Tolerance = client.SliceTolerance
+		m.Clients = append(m.Clients, cl)
+		name := fmt.Sprintf("client%d", i)
+		b.Handler(name, cl)
+		b.Rule("demux", name, node.FlowMatch(flowID(i)), name)
+	}
+
+	b.Link("bottleneck", LinkSpec{
+		Rate: cfg.BottleneckRate, Delay: 5 * units.Millisecond,
+		Sched: cfg.Sched.spec(400), To: "demux",
+	})
+
+	// Send side, one chain per flow.
+	for i := 0; i < cfg.N; i++ {
+		pol := fmt.Sprintf("policer%d", i)
+		jit := fmt.Sprintf("jit%d", i)
+		hub := fmt.Sprintf("hub%d", i)
+		b.Policer(pol, cfg.TokenRate, cfg.Depth, packet.EF, "bottleneck")
+		b.Jitter(jit, 3*units.Millisecond, pol)
+		b.Link(hub, LinkSpec{Rate: 100 * units.Mbps, Delay: 500 * units.Microsecond,
+			Sched: PlainFIFO(0), To: jit})
+	}
+
+	// Competing aggregates at the bottleneck.
+	if cfg.AFLoad > 0 {
+		b.Source("af-cross", SourceSpec{
+			Kind: PoissonSource, Rate: units.BitRate(cfg.AFLoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 900, DSCP: packet.AF12, To: "bottleneck",
+		})
+	}
+	if cfg.BELoad > 0 {
+		b.Source("be-cross", SourceSpec{
+			Kind: PoissonSource, Rate: units.BitRate(cfg.BELoad * float64(cfg.BottleneckRate)),
+			Size: units.EthernetMTU, Flow: 901, DSCP: packet.BestEffort, To: "bottleneck",
+		})
+	}
+
+	net := b.MustBuild()
+	m.Net = net
+	m.Bottleneck = net.Link("bottleneck")
+	for i := 0; i < cfg.N; i++ {
+		m.Policers = append(m.Policers, net.Policer(fmt.Sprintf("policer%d", i)))
+		m.Servers = append(m.Servers, &server.Paced{
+			Sim: m.Sim, Enc: cfg.Enc, Flow: flowID(i),
+			Next: net.Handler(fmt.Sprintf("hub%d", i)),
+		})
+	}
+	return m
+}
+
+// Run starts every server (staggered) and executes the simulation to
+// completion.
+func (m *MultiFlow) Run() {
+	for i, srv := range m.Servers {
+		srv := srv
+		m.Sim.At(units.Time(int64(i))*m.stagger, srv.Start)
+	}
+	horizon := units.FromSeconds(m.enc.Clip.DurationSeconds()+30) +
+		units.Time(int64(len(m.Servers)))*m.stagger
+	m.Sim.SetHorizon(horizon)
+	m.Sim.Run()
+	for _, cl := range m.Clients {
+		cl.Finish()
+	}
+}
+
+// AggregatePolicerLoss reports packet loss across all per-flow
+// policers.
+func (m *MultiFlow) AggregatePolicerLoss() float64 {
+	var passed, dropped int
+	for _, p := range m.Policers {
+		passed += p.Passed
+		dropped += p.Dropped
+	}
+	if passed+dropped == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(passed+dropped)
+}

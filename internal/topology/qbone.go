@@ -1,15 +1,20 @@
-// Package topology assembles the two experimental networks of §3.2:
-// the QBone wide-area path (Fig. 5) and the local three-router Frame
-// Relay testbed (Fig. 4), wiring servers, conditioning elements,
-// links, routers, cross traffic and clients into runnable simulations.
+// Package topology assembles the simulated networks the experiments
+// run on. The declarative Builder ("builder.go") is the general
+// mechanism: declare named links, routers, conditioning elements,
+// traffic sources and taps, then Build() wires the graph and hands
+// back handles. The paper's two testbeds — the QBone wide-area path
+// (Fig. 5) and the local three-router Frame Relay testbed (Fig. 4) —
+// plus the Assured Forwarding extension and the N-flow scaling
+// topology are thin presets over that builder.
 package topology
 
 import (
+	"fmt"
+
 	"repro/internal/client"
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
-	"repro/internal/queue"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -61,9 +66,13 @@ func (c QBoneConfig) withDefaults() QBoneConfig {
 	return c
 }
 
-// QBone is a built wide-area experiment ready to run.
+// QBone is a built wide-area experiment ready to run. Hops and Cross
+// are both indexed ingress-first: Hops[0] is the first backbone hop
+// after the border conditioner and Cross[i] is the source injecting at
+// Hops[i] (flow id 1000+i).
 type QBone struct {
 	Sim     *sim.Simulator
+	Net     *Network
 	Server  *server.Paced
 	Client  *client.UDP
 	Policer *tokenbucket.Policer
@@ -77,68 +86,87 @@ type QBone struct {
 	Delay *stats.DelayCollector
 }
 
-// BuildQBone wires Fig. 5: the Video Charger server at the remote
-// campus, campus jitter, the border CAR policer (drop, or shaper when
-// cfg.Shape), cfg.Hops backbone routers with EF priority queues and
-// best-effort cross traffic, and the client behind its access link.
+// BuildQBone declares Fig. 5 on the Builder: the Video Charger server
+// at the remote campus, campus jitter, the border CAR policer (drop,
+// or shaper when cfg.Shape), cfg.Hops backbone routers with EF
+// priority queues and best-effort cross traffic, and the client behind
+// its access link.
 func BuildQBone(cfg QBoneConfig) *QBone {
 	cfg = cfg.withDefaults()
-	s := sim.New(cfg.Seed)
-	q := &QBone{Sim: s}
+	b := NewBuilder(cfg.Seed)
+	q := &QBone{Sim: b.Sim()}
 
-	cl := client.NewUDP(s, cfg.Enc.Clip.FrameCount())
+	cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
 	q.Client = cl
-	q.Delay = &stats.DelayCollector{
-		Clock: s, Next: cl,
-		Match: func(p *packet.Packet) bool { return p.Flow == VideoFlow },
-	}
+	b.Handler("client", cl)
+	b.DelayTap("delay", func(p *packet.Packet) bool { return p.Flow == VideoFlow }, "client")
+	b.Link("access", LinkSpec{Rate: cfg.AccessRate, Delay: units.Millisecond,
+		Sched: EFPriority(0, 200), To: "delay"})
 
-	// Build the chain back to front: access link, then hops.
-	var next packet.Handler = q.Delay
-	next = link.New(s, cfg.AccessRate, units.Millisecond, queue.NewEFPriority(0, 200), next)
+	// Backbone hops, declared client-side first so cross sources start
+	// in the same order the hand-wired constructor used. Core routers
+	// classify on DSCP only (§3.2.1.2): EF to the high queue, the rest
+	// best effort — which the EF priority scheduler does by
+	// construction, so each hop router is just its output link.
 	for i := cfg.Hops - 1; i >= 0; i-- {
-		sched := queue.NewEFPriority(400, 400)
-		hop := link.New(s, cfg.HopRate, cfg.HopDelay, sched, next)
-		q.Hops = append([]*link.Link{hop}, q.Hops...)
-		// Core routers classify on DSCP only (§3.2.1.2): EF to the
-		// high queue, the rest best effort — which the EF priority
-		// scheduler does by construction, so the hop router is just
-		// the link itself.
-		next = hop
+		to := "access"
+		if i < cfg.Hops-1 {
+			to = hopName(i + 1)
+		}
+		b.Link(hopName(i), LinkSpec{Rate: cfg.HopRate, Delay: cfg.HopDelay,
+			Sched: EFPriority(400, 400), To: to})
 		if cfg.CrossLoad > 0 {
-			cross := &traffic.Poisson{
-				Sim: s, Rate: units.BitRate(cfg.CrossLoad * float64(cfg.HopRate)),
+			b.Source(crossName(i), SourceSpec{
+				Kind: PoissonSource,
+				Rate: units.BitRate(cfg.CrossLoad * float64(cfg.HopRate)),
 				Size: units.EthernetMTU, Flow: packet.FlowID(1000 + i),
-				DSCP: packet.BestEffort, Next: hop,
-			}
-			cross.Start()
-			q.Cross = append(q.Cross, cross)
+				DSCP: packet.BestEffort, To: hopName(i),
+			})
 		}
 	}
 
 	// Border conditioning: Cisco CAR configured to drop out-of-profile
 	// packets (§3.2.2), or a shaper for the ablation.
-	var conditioned packet.Handler
+	conditioner := "policer"
 	if cfg.Shape {
-		q.Shaper = tokenbucket.NewShaper(s, cfg.TokenRate, cfg.Depth, packet.EF, next)
-		conditioned = q.Shaper
+		conditioner = "shaper"
+		b.Shaper("shaper", cfg.TokenRate, cfg.Depth, packet.EF, 0, hopName(0))
 	} else {
-		q.Policer = tokenbucket.NewPolicer(s, cfg.TokenRate, cfg.Depth, packet.EF, next)
-		conditioned = q.Policer
+		b.Policer("policer", cfg.TokenRate, cfg.Depth, packet.EF, hopName(0))
 	}
-	border := node.NewRouter("border", next)
-	border.AddRule("video-aps", node.FlowMatch(VideoFlow), conditioned)
+	b.Router("border", hopName(0))
+	b.Rule("border", "video-aps", node.FlowMatch(VideoFlow), conditioner)
 
 	// Campus segment: fast LAN plus the jitter the paper identifies as
 	// the reason conformance at the policer is perturbed.
-	jit := &link.Jitter{Sim: s, Max: cfg.CampusJitter, Next: border}
-	campus := link.New(s, 100*units.Mbps, 500*units.Microsecond, queue.NewSingleFIFO(0), jit)
+	b.Jitter("jit", cfg.CampusJitter, "border")
+	b.Link("campus", LinkSpec{Rate: 100 * units.Mbps, Delay: 500 * units.Microsecond,
+		Sched: PlainFIFO(0), To: "jit"})
+
+	net := b.MustBuild()
+	q.Net = net
+	q.Delay = net.DelayTap("delay")
+	if cfg.Shape {
+		q.Shaper = net.Shaper("shaper")
+	} else {
+		q.Policer = net.Policer("policer")
+	}
+	for i := 0; i < cfg.Hops; i++ {
+		q.Hops = append(q.Hops, net.Link(hopName(i)))
+		if cfg.CrossLoad > 0 {
+			q.Cross = append(q.Cross, net.Poisson(crossName(i)))
+		}
+	}
 
 	q.Server = &server.Paced{
-		Sim: s, Enc: cfg.Enc, Flow: VideoFlow, Next: campus, MsgSize: cfg.MsgSize,
+		Sim: q.Sim, Enc: cfg.Enc, Flow: VideoFlow,
+		Next: net.Handler("campus"), MsgSize: cfg.MsgSize,
 	}
 	return q
 }
+
+func hopName(i int) string   { return fmt.Sprintf("hop%d", i) }
+func crossName(i int) string { return fmt.Sprintf("cross%d", i) }
 
 // Run starts the server and executes the simulation to completion,
 // returning the client's sorted frame trace.

@@ -6,23 +6,24 @@
 package traffic
 
 import (
+	"sync/atomic"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
 
-var nextPacketID uint64
+var nextPacketID atomic.Uint64
 
 // NewPacketID hands out globally unique packet ids across all sources
-// in a process; ids only need to be unique, not dense.
-func NewPacketID() uint64 {
-	nextPacketID++
-	return nextPacketID
-}
+// in a process; ids only need to be unique and non-zero, not dense —
+// the counter is atomic because independent simulations run
+// concurrently on the experiment runner pool.
+func NewPacketID() uint64 { return nextPacketID.Add(1) }
 
 // ResetPacketIDs restarts the id counter (tests and experiment
 // isolation).
-func ResetPacketIDs() { nextPacketID = 0 }
+func ResetPacketIDs() { nextPacketID.Store(0) }
 
 // CBR emits fixed-size packets at a constant bit rate.
 type CBR struct {
