@@ -1,0 +1,63 @@
+package repro_test
+
+// Allocation budget for the per-packet hot path: once the event pool,
+// the FIFO rings and the pre-bound link Timers are warm, pushing a
+// packet through enqueue → serialization → propagation → delivery
+// must not allocate at all. This is the short-mode guard behind
+// BenchmarkLinkHotPath's 0 allocs/op.
+
+import (
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+func TestLinkHotPathAllocationBudget(t *testing.T) {
+	s := sim.New(1)
+	var sink packet.Sink
+	l := link.New(s, 100*units.Mbps, units.Millisecond, queue.NewEFPriority(0, 0), &sink)
+	var p packet.Packet
+	p.Size = 1500
+	p.DSCP = packet.EF
+	// Warm the pools: event free list, calendar buckets, FIFO ring,
+	// in-flight ring.
+	for i := 0; i < 200; i++ {
+		l.Handle(&p)
+		s.Run()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		l.Handle(&p)
+		s.Run() // drains the tx-done and delivery events
+	})
+	if allocs != 0 {
+		t.Errorf("link+queue hot path allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestPooledSourceAllocationBudget pins the same property for a
+// steady-state traffic source feeding a link from a packet pool: the
+// whole emit → enqueue → transmit → sink-release cycle reuses pooled
+// packets and events.
+func TestPooledSourceAllocationBudget(t *testing.T) {
+	s := sim.New(1)
+	pool := packet.NewPool()
+	sink := packet.Sink{Pool: pool}
+	l := link.New(s, 100*units.Mbps, 0, queue.NewEFPriority(0, 0), &sink)
+	l.Pool = pool
+	src := &traffic.CBR{Sim: s, Rate: 10 * units.Mbps, Size: 1500, Next: l, Pool: pool}
+	src.Start()
+	s.RunUntil(100 * units.Millisecond) // warm
+	var at units.Time = 100 * units.Millisecond
+	allocs := testing.AllocsPerRun(200, func() {
+		at += 10 * units.Millisecond
+		s.RunUntil(at)
+	})
+	if allocs != 0 {
+		t.Errorf("pooled CBR→link cycle allocates %.2f/op, want 0", allocs)
+	}
+}

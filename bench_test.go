@@ -150,6 +150,26 @@ func BenchmarkAblationHopCount(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndQBone runs one full QBone point — paced server,
+// campus jitter, border policer, four EF-priority backbone hops with
+// Poisson cross traffic, client reassembly, VQM scoring — on a reused
+// packet arena, and reports simulator events/sec. This is the
+// end-to-end number BENCH_PR3.json tracks.
+func BenchmarkEndToEndQBone(b *testing.B) {
+	enc := video.EncodeCBR(video.Lost(), 1.7e6)
+	pool := packet.NewPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		p := experiment.RunQBonePointArena(pool, enc, enc, 1.9e6, 3000, experiment.DefaultSeed, 0.15)
+		events += p.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
 // --- Micro-benchmarks for the hot substrate paths ---
 
 // BenchmarkLinkHotPath measures the full per-packet link path —

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -66,15 +67,23 @@ type jsonSeries struct {
 }
 
 type scenarioRecord struct {
-	Name     string       `json:"name"`
-	Title    string       `json:"title"`
-	Parallel int          `json:"parallel"`
-	Scale    int          `json:"scale"`
-	WallMS   float64      `json:"wall_ms"`
-	Series   []jsonSeries `json:"series"`
+	Name     string  `json:"name"`
+	Title    string  `json:"title"`
+	Parallel int     `json:"parallel"`
+	Scale    int     `json:"scale"`
+	WallMS   float64 `json:"wall_ms"`
+	// Events is the total simulator events executed across every point
+	// of the scenario; EventsPerSec = Events / wall time is the
+	// throughput number the perf trajectory tracks, and AllocsPerEvent
+	// is the process-wide heap allocations attributed to each event —
+	// the pooled hot paths drive it toward zero.
+	Events         uint64       `json:"events"`
+	EventsPerSec   float64      `json:"events_per_sec"`
+	AllocsPerEvent float64      `json:"allocs_per_event"`
+	Series         []jsonSeries `json:"series"`
 }
 
-func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale int) scenarioRecord {
+func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale int, allocs uint64) scenarioRecord {
 	rec := scenarioRecord{
 		Name: name, Title: fig.Title, Parallel: parallelism, Scale: scale,
 		WallMS: float64(wall.Microseconds()) / 1000,
@@ -82,6 +91,7 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 	for _, s := range fig.Series {
 		js := jsonSeries{Label: s.Label}
 		for _, p := range s.Points {
+			rec.Events += p.Events
 			js.Points = append(js.Points, jsonPoint{
 				TokenRateBps: float64(p.TokenRate), DepthBytes: int64(p.Depth),
 				Label: p.Label, FrameLoss: p.FrameLoss, Quality: p.Quality,
@@ -89,6 +99,12 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 			})
 		}
 		rec.Series = append(rec.Series, js)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rec.EventsPerSec = float64(rec.Events) / secs
+	}
+	if rec.Events > 0 {
+		rec.AllocsPerEvent = float64(allocs) / float64(rec.Events)
 	}
 	return rec
 }
@@ -127,10 +143,18 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 		if sl, ok := sc.(experiment.Scalable); ok && scale > 1 {
 			sc = sl.Scaled(scale)
 		}
+		var msBefore runtime.MemStats
+		if jsonPath != "" {
+			runtime.ReadMemStats(&msBefore)
+		}
 		start := time.Now()
 		fig := experiment.RunScenario(sc, parallelism)
+		wall := time.Since(start)
 		if jsonPath != "" {
-			jsonRecords = append(jsonRecords, makeRecord(sc.Name(), fig, time.Since(start), scale))
+			var msAfter runtime.MemStats
+			runtime.ReadMemStats(&msAfter)
+			jsonRecords = append(jsonRecords,
+				makeRecord(sc.Name(), fig, wall, scale, msAfter.Mallocs-msBefore.Mallocs))
 		}
 		return render(fig)
 	}}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/client"
@@ -25,21 +27,35 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "trace file produced by dsstream -trace (required)")
-	clipName := flag.String("clip", "Lost", "Lost or Dark")
-	rateStr := flag.String("rate", "1.7M", "encoding rate of the received stream (CBR) or 'wmv'")
-	refStr := flag.String("ref", "", "reference encoding rate (default: same as -rate)")
-	perSegment := flag.Bool("segments", false, "print per-segment scores")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the command logic
+// is testable in-process (the same pattern dsbench and dsstream use).
+// It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vqmtool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "trace file produced by dsstream -trace (required)")
+	clipName := fs.String("clip", "Lost", "Lost or Dark")
+	rateStr := fs.String("rate", "1.7M", "encoding rate of the received stream (CBR) or 'wmv'")
+	refStr := fs.String("ref", "", "reference encoding rate (default: same as -rate)")
+	perSegment := fs.Bool("segments", false, "print per-segment scores")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "vqmtool: -in is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vqmtool: -in is required")
+		return 2
 	}
 	clip := video.ByName(*clipName)
 	if clip == nil {
-		fmt.Fprintf(os.Stderr, "unknown clip %q\n", *clipName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown clip %q\n", *clipName)
+		return 2
 	}
 	encode := func(s string) (*video.Encoding, error) {
 		if s == "wmv" {
@@ -53,27 +69,27 @@ func main() {
 	}
 	enc, err := encode(*rateStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	ref := enc
 	if *refStr != "" {
 		if ref, err = encode(*refStr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	decoded := tr
@@ -83,21 +99,22 @@ func main() {
 	d := render.Conceal(decoded, render.DefaultOptions())
 	res := vqm.Score(d, enc, ref, vqm.Options{})
 
-	fmt.Printf("trace:          %s (%d/%d frames received)\n", *in, len(tr.Records), tr.ClipFrames)
-	fmt.Printf("decodable:      %d (frame loss %.4f)\n",
+	fmt.Fprintf(stdout, "trace:          %s (%d/%d frames received)\n", *in, len(tr.Records), tr.ClipFrames)
+	fmt.Fprintf(stdout, "decodable:      %d (frame loss %.4f)\n",
 		len(decoded.Records), decoded.FrameLossFraction())
-	fmt.Printf("display slots:  %d (%d repeats, longest freeze %d)\n",
+	fmt.Fprintf(stdout, "display slots:  %d (%d repeats, longest freeze %d)\n",
 		len(d.Frames), d.Repeats, d.LongestFreeze())
-	fmt.Printf("VQM index:      %.3f\n", res.Index)
-	fmt.Printf("calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
+	fmt.Fprintf(stdout, "VQM index:      %.3f\n", res.Index)
+	fmt.Fprintf(stdout, "calib failures: %d of %d segments\n", res.CalibrationFailures, len(res.Segments))
 	if *perSegment {
 		for i, s := range res.Segments {
 			status := "ok"
 			if !s.Aligned {
 				status = "CALIBRATION FAILED"
 			}
-			fmt.Printf("  seg %2d @%5d shift=%4d idx=%.3f %s\n",
+			fmt.Fprintf(stdout, "  seg %2d @%5d shift=%4d idx=%.3f %s\n",
 				i, s.StartSlot, s.Shift, s.Index, status)
 		}
 	}
+	return 0
 }

@@ -3,10 +3,12 @@
 // Perspective" (Ashmawi, Guérin, Wolf, Pinson — SIGCOMM 2001) as a
 // deterministic packet-level simulation study in pure Go.
 //
-// The library lives under internal/: a discrete-event simulator (sim),
-// the DiffServ data plane (packet, tokenbucket, queue, link, node —
-// with strict-priority, DRR, WFQ and RED/RIO schedulers behind one
-// per-class-accounted Scheduler interface), traffic sources (traffic),
+// The library lives under internal/: a discrete-event simulator (sim —
+// pooled events on a calendar-queue scheduler, with a closure-free
+// Timer API beside the At/After closures), the DiffServ data plane
+// (packet, tokenbucket, queue, link, node — with strict-priority, DRR,
+// WFQ and RED/RIO schedulers behind one per-class-accounted Scheduler
+// interface), traffic sources (traffic),
 // the video content and encoder models (video), streaming servers
 // (server, tcpsim), the instrumented client and renderer-concealment
 // pipeline (client, render, trace), the objective quality model (vqm),
@@ -19,6 +21,14 @@
 // byte-identical at every parallelism level. Beyond the paper's
 // figures, the registry carries scaling scenarios (N competing flows,
 // bottleneck-scheduler comparison) built on the topology builder.
+//
+// The per-packet hot paths are allocation-free: packet.Handler.Handle
+// takes ownership of its packet ("forward it, hold it, or terminate
+// it and release it to the packet.Pool"), every terminal path
+// releases, and each runner worker owns a persistent pool arena so
+// arenas never cross goroutines. See the packet and sim package
+// comments for the two contracts (packet ownership; Timer scheduling
+// and generation-checked event Handles).
 //
 // Entry points: cmd/dsbench regenerates all artifacts, cmd/dsstream
 // runs one experiment, cmd/vqmtool scores stored traces, and

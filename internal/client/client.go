@@ -37,6 +37,11 @@ type UDP struct {
 	clock Clock
 	tr    *trace.Trace
 
+	// Pool, when set, receives every delivered packet: the client is
+	// the terminal owner on the forward path and retains nothing but
+	// the frame trace (values, never packet pointers).
+	Pool *packet.Pool
+
 	base    units.Time
 	started bool
 
@@ -79,7 +84,8 @@ func SliceTolerance(frags int) int {
 // Trace returns the accumulated frame trace.
 func (c *UDP) Trace() *trace.Trace { return c.tr }
 
-// Handle consumes one arriving packet.
+// Handle consumes one arriving packet and releases it: frame
+// accounting copies everything it needs.
 func (c *UDP) Handle(p *packet.Packet) {
 	now := c.clock.Now()
 	if !c.started {
@@ -88,22 +94,24 @@ func (c *UDP) Handle(p *packet.Packet) {
 	}
 	c.Packets++
 	c.PacketsBytes += int64(p.Size)
-	if p.FrameSeq < 0 || c.emitted[p.FrameSeq] {
+	seq, fragIndex, fragCount := p.FrameSeq, p.FragIndex, p.FragCount
+	c.Pool.Put(p)
+	if seq < 0 || c.emitted[seq] {
 		return
 	}
-	st := c.frames[p.FrameSeq]
+	st := c.frames[seq]
 	if st == nil {
-		st = &fragState{total: p.FragCount}
-		c.frames[p.FrameSeq] = st
+		st = &fragState{total: fragCount}
+		c.frames[seq] = st
 	}
 	st.received++
 	st.last = now
-	if p.FragIndex == 0 {
+	if fragIndex == 0 {
 		st.gotFirst = true
 	}
 	if st.received >= st.total {
 		// Fully reassembled: emit immediately with exact timing.
-		c.emit(p.FrameSeq, st)
+		c.emit(seq, st)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/client"
+	"repro/internal/packet"
 	"repro/internal/render"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -53,6 +54,15 @@ type Point struct {
 	Label     string
 	Evaluation
 	Flows []Evaluation
+
+	// Events counts the simulator events executed to produce this
+	// point (summed across seed-averaged runs) — the denominator of
+	// the events/sec and allocs/event throughput metrics dsbench
+	// reports. It never appears in figure output. Assemble
+	// implementations that place one result into several series must
+	// keep Events on exactly one copy, so summing over every series
+	// point of a figure counts each simulation once.
+	Events uint64
 }
 
 // rowLabel is what the figure table prints in the first column.
@@ -154,8 +164,8 @@ func (spec QBoneSpec) Jobs() []Job {
 	for _, depth := range spec.Depths {
 		for _, tok := range spec.Tokens {
 			depth, tok := depth, tok
-			jobs = append(jobs, func() Point {
-				return RunQBonePointAvg(enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs)
+			jobs = append(jobs, func(pool *packet.Pool) Point {
+				return RunQBonePointAvgArena(pool, enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs)
 			})
 		}
 	}
@@ -185,16 +195,23 @@ func (spec QBoneSpec) Run() *Figure { return RunScenario(spec, 0) }
 
 // RunQBonePointAvg averages RunQBonePoint over consecutive seeds.
 func RunQBonePointAvg(enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
+	return RunQBonePointAvgArena(nil, enc, ref, tok, depth, seed, crossLoad, runs)
+}
+
+// RunQBonePointAvgArena is RunQBonePointAvg on a caller-owned packet
+// arena (the runner worker's pool).
+func RunQBonePointAvgArena(pool *packet.Pool, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
 	if runs <= 1 {
-		return RunQBonePoint(enc, ref, tok, depth, seed, crossLoad)
+		return RunQBonePointArena(pool, enc, ref, tok, depth, seed, crossLoad)
 	}
 	var acc Point
 	for r := 0; r < runs; r++ {
-		p := RunQBonePoint(enc, ref, tok, depth, seed+uint64(r), crossLoad)
+		p := RunQBonePointArena(pool, enc, ref, tok, depth, seed+uint64(r), crossLoad)
 		acc.FrameLoss += p.FrameLoss
 		acc.Quality += p.Quality
 		acc.PacketLoss += p.PacketLoss
 		acc.Calibration += p.Calibration
+		acc.Events += p.Events
 	}
 	acc.TokenRate, acc.Depth = tok, depth
 	acc.FrameLoss /= float64(runs)
@@ -206,8 +223,14 @@ func RunQBonePointAvg(enc, ref *video.Encoding, tok units.BitRate, depth units.B
 // RunQBonePoint streams enc across the QBone with the given profile
 // and evaluates the received video against ref.
 func RunQBonePoint(enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
+	return RunQBonePointArena(nil, enc, ref, tok, depth, seed, crossLoad)
+}
+
+// RunQBonePointArena is RunQBonePoint on a caller-owned packet arena.
+func RunQBonePointArena(pool *packet.Pool, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
 	q := topology.BuildQBone(topology.QBoneConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth, CrossLoad: crossLoad,
+		Pool: pool,
 	})
 	q.Client.Tolerance = client.SliceTolerance
 	q.Run()
@@ -215,7 +238,7 @@ func RunQBonePoint(enc, ref *video.Encoding, tok units.BitRate, depth units.Byte
 	if q.Policer != nil {
 		ev.PacketLoss = q.Policer.LossFraction()
 	}
-	return Point{TokenRate: tok, Depth: depth, Evaluation: ev}
+	return Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: q.Sim.Fired()}
 }
 
 // RelativeSpec parameterizes the Figs. 13–14 experiments: three
@@ -255,8 +278,8 @@ func (spec RelativeSpec) Jobs() []Job {
 		enc := video.CachedCBR(spec.Clip, er)
 		for _, tok := range spec.Tokens {
 			enc, tok := enc, tok
-			jobs = append(jobs, func() Point {
-				return RunQBonePointAvg(enc, ref, tok, spec.Depth, spec.Seed, 0, runs)
+			jobs = append(jobs, func(pool *packet.Pool) Point {
+				return RunQBonePointAvgArena(pool, enc, ref, tok, spec.Depth, spec.Seed, 0, runs)
 			})
 		}
 	}
@@ -312,8 +335,8 @@ func (spec LocalSpec) Jobs() []Job {
 	for _, depth := range spec.Depths {
 		for _, tok := range spec.Tokens {
 			depth, tok := depth, tok
-			jobs = append(jobs, func() Point {
-				return RunLocalPoint(enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed)
+			jobs = append(jobs, func(pool *packet.Pool) Point {
+				return RunLocalPointArena(pool, enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed)
 			})
 		}
 	}
@@ -342,9 +365,14 @@ func (spec LocalSpec) Run() *Figure { return RunScenario(spec, 0) }
 
 // RunLocalPoint streams enc through the local testbed and evaluates.
 func RunLocalPoint(enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {
+	return RunLocalPointArena(nil, enc, tok, depth, useShaper, useTCP, seed)
+}
+
+// RunLocalPointArena is RunLocalPoint on a caller-owned packet arena.
+func RunLocalPointArena(pool *packet.Pool, enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {
 	l := topology.BuildLocal(topology.LocalConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth,
-		UseTCP: useTCP, UseShaper: useShaper,
+		UseTCP: useTCP, UseShaper: useShaper, Pool: pool,
 	})
 	if l.UDPClient != nil {
 		// WMT's reduced message sizes mean one lost packet damages a
@@ -356,5 +384,5 @@ func RunLocalPoint(enc *video.Encoding, tok units.BitRate, depth units.ByteSize,
 	if l.Policer != nil {
 		ev.PacketLoss = l.Policer.LossFraction()
 	}
-	return Point{TokenRate: tok, Depth: depth, Evaluation: ev}
+	return Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: l.Sim.Fired()}
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -37,6 +38,7 @@ func evaluateMultiFlow(cfg topology.MultiFlowConfig, enc *video.Encoding, label 
 	pt.FrameLoss /= n
 	pt.Quality /= n
 	pt.PacketLoss = m.AggregatePolicerLoss()
+	pt.Events = m.Sim.Fired()
 	return pt
 }
 
@@ -98,12 +100,12 @@ func (spec MultiFlowSpec) Jobs() []Job {
 	var jobs []Job
 	for _, n := range spec.Ns {
 		n := n
-		jobs = append(jobs, func() Point {
+		jobs = append(jobs, func(pool *packet.Pool) Point {
 			return evaluateMultiFlow(topology.MultiFlowConfig{
 				Seed: spec.Seed, Enc: enc, N: n,
 				TokenRate: spec.TokenRate, Depth: spec.Depth,
 				BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
-				BELoad: spec.BELoad,
+				BELoad: spec.BELoad, Pool: pool,
 			}, enc, fmt.Sprintf("N=%d", n), spec.TokenRate, spec.Depth)
 		})
 	}
@@ -121,6 +123,9 @@ func (spec MultiFlowSpec) Assemble(results []Point) *Figure {
 		wp := p
 		wp.Evaluation = worstFlow(p)
 		wp.Flows = nil
+		// Both series view the same simulation; only the mean series
+		// carries its event count so figure-wide sums stay exact.
+		wp.Events = 0
 		worst.Points = append(worst.Points, wp)
 	}
 	fig.Series = append(fig.Series, mean, worst)
@@ -187,12 +192,12 @@ func (spec SchedCompareSpec) Jobs() []Job {
 	for _, sched := range topology.BottleneckSchedulers() {
 		for _, load := range spec.Loads {
 			sched, load := sched, load
-			jobs = append(jobs, func() Point {
+			jobs = append(jobs, func(pool *packet.Pool) Point {
 				return evaluateMultiFlow(topology.MultiFlowConfig{
 					Seed: spec.Seed, Enc: enc, N: spec.N,
 					TokenRate: spec.TokenRate, Depth: spec.Depth,
 					BottleneckRate: spec.BottleneckRate, Sched: sched,
-					AFLoad: load / 2, BELoad: load / 2,
+					AFLoad: load / 2, BELoad: load / 2, Pool: pool,
 				}, enc, fmt.Sprintf("load=%.2f", load), spec.TokenRate, spec.Depth)
 			})
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/packet"
 	"repro/internal/runner"
 )
 
@@ -30,8 +31,13 @@ type Scenario interface {
 }
 
 // Job is one independent simulation: it runs a full (possibly
-// seed-averaged) experiment and reduces it to a Point.
-type Job func() Point
+// seed-averaged) experiment and reduces it to a Point. The pool is
+// the executing worker's packet arena — each runner worker owns one
+// and reuses it across consecutive jobs, so pools never cross
+// goroutines and steady-state jobs allocate no packets. Jobs must
+// build their simulation on the given pool (or ignore it and pay the
+// allocations).
+type Job func(pool *packet.Pool) Point
 
 // Scalable is implemented by scenarios whose token sweep can be
 // thinned for quick passes (dsbench -scale).
@@ -48,11 +54,11 @@ type Scalable interface {
 // never in result.
 func RunScenario(s Scenario, parallel int) *Figure {
 	jobs := s.Jobs()
-	fns := make([]func() Point, len(jobs))
+	fns := make([]func(*packet.Pool) Point, len(jobs))
 	for i, j := range jobs {
 		fns[i] = j
 	}
-	return s.Assemble(runner.Map(parallel, fns))
+	return s.Assemble(runner.MapArena(parallel, packet.NewPool, fns))
 }
 
 // The scenario registry. Scenarios register at init time (figures.go);

@@ -31,7 +31,7 @@ func TestInflightStaysBounded(t *testing.T) {
 	if sink.Count != n {
 		t.Fatalf("delivered %d of %d", sink.Count, n)
 	}
-	if len(l.inflight) > 256 {
-		t.Errorf("inflight grew to %d entries on a busy link — compaction ineffective", len(l.inflight))
+	if l.inflight.Cap() > 256 {
+		t.Errorf("inflight grew to %d entries on a busy link — compaction ineffective", l.inflight.Cap())
 	}
 }

@@ -22,27 +22,43 @@ type Link struct {
 	Delay units.Time
 	Sched queue.Scheduler
 	Next  packet.Handler
+	// Pool, when set, receives packets the scheduler rejects at
+	// enqueue (the link owns drops at its port).
+	Pool *packet.Pool
 
 	busy bool
 	cur  *packet.Packet // packet on the wire
 
-	// Pre-bound callbacks so the hot path schedules no per-packet
-	// closures: txDone fires at serialization end, deliver at
+	// Pre-bound Timer values so the hot path schedules with zero
+	// allocations: txDone fires at serialization end, deliver at
 	// propagation end. Bound once in New (or lazily on first Handle
 	// for zero-value construction).
-	txDone  func()
-	deliver func()
+	txDone  sim.Timer
+	deliver sim.Timer
 
 	// inflight holds packets in propagation, delivery order. Constant
 	// Delay means deliveries complete FIFO, so a ring suffices.
-	inflight     []*packet.Packet
-	inflightHead int
+	inflight packet.Ring
 
 	Sent      int
 	SentBytes int64
 	// BusyTime accumulates transmission time for utilization stats.
 	BusyTime units.Time
 }
+
+// txDoneTimer and deliverTimer give the link two Fire methods without
+// per-schedule closures: a *Link pointer-converted to either type is
+// the Timer, so the interface values in bind() never allocate.
+type (
+	txDoneTimer  Link
+	deliverTimer Link
+)
+
+// Fire completes the current serialization.
+func (t *txDoneTimer) Fire(units.Time) { (*Link)(t).finishTx() }
+
+// Fire completes the oldest propagation.
+func (d *deliverTimer) Fire(units.Time) { (*Link)(d).deliverHead() }
 
 // New returns a link with the given rate, propagation delay, scheduler
 // and next hop.
@@ -55,18 +71,19 @@ func New(s *sim.Simulator, rate units.BitRate, delay units.Time, sched queue.Sch
 	return l
 }
 
-// bind caches the method-value callbacks (each `l.method` expression
-// allocates a fresh closure, so they are materialized exactly once).
+// bind materializes the Timer interface values exactly once.
 func (l *Link) bind() {
-	l.txDone = l.finishTx
-	l.deliver = l.deliverHead
+	l.txDone = (*txDoneTimer)(l)
+	l.deliver = (*deliverTimer)(l)
 }
 
-// Handle enqueues p for transmission.
+// Handle enqueues p for transmission. A scheduler rejection is a
+// terminal drop owned by the link: the packet is released to Pool.
 func (l *Link) Handle(p *packet.Packet) {
 	p.EnqueuedAt = l.Sim.Now()
 	if !l.Sched.Enqueue(p) {
-		return // queue drop, counted by the scheduler
+		l.Pool.Put(p) // queue drop, counted by the scheduler
+		return
 	}
 	if !l.busy {
 		l.transmitNext()
@@ -86,7 +103,7 @@ func (l *Link) transmitNext() {
 	l.cur = p
 	tx := l.Rate.TxTime(p.Size)
 	l.BusyTime += tx
-	l.Sim.After(tx, l.txDone)
+	l.Sim.AfterTimer(tx, l.txDone)
 }
 
 // finishTx runs at serialization end: account the packet, hand it to
@@ -98,8 +115,8 @@ func (l *Link) finishTx() {
 	l.Sent++
 	l.SentBytes += int64(p.Size)
 	if l.Delay > 0 {
-		l.inflight = append(l.inflight, p)
-		l.Sim.After(l.Delay, l.deliver)
+		l.inflight.Push(p)
+		l.Sim.AfterTimer(l.Delay, l.deliver)
 	} else {
 		l.Next.Handle(p)
 	}
@@ -107,25 +124,8 @@ func (l *Link) finishTx() {
 }
 
 // deliverHead completes propagation of the oldest in-flight packet.
-// The consumed prefix is compacted away once it dominates the slice,
-// so memory stays proportional to the packets concurrently in
-// propagation (~Delay/TxTime) even on a continuously busy link.
 func (l *Link) deliverHead() {
-	p := l.inflight[l.inflightHead]
-	l.inflight[l.inflightHead] = nil
-	l.inflightHead++
-	if l.inflightHead == len(l.inflight) {
-		l.inflight = l.inflight[:0]
-		l.inflightHead = 0
-	} else if l.inflightHead >= 32 && l.inflightHead*2 >= len(l.inflight) {
-		n := copy(l.inflight, l.inflight[l.inflightHead:])
-		for i := n; i < len(l.inflight); i++ {
-			l.inflight[i] = nil
-		}
-		l.inflight = l.inflight[:n]
-		l.inflightHead = 0
-	}
-	l.Next.Handle(p)
+	l.Next.Handle(l.inflight.Pop())
 }
 
 // Utilization reports the fraction of elapsed time spent transmitting.
@@ -187,9 +187,23 @@ type Jitter struct {
 	Next packet.Handler
 
 	lastDelivery units.Time
+
+	// Delivery times are monotone (see Handle), so the packets in
+	// flight form a FIFO ring: each scheduled event delivers the head.
+	pending packet.Ring
+	timer   sim.Timer
 }
 
-// Handle delays p by a uniform random jitter, preserving order.
+// jitterTimer is the pointer-conversion Timer of a Jitter.
+type jitterTimer Jitter
+
+// Fire delivers the oldest delayed packet.
+func (j *jitterTimer) Fire(units.Time) { (*Jitter)(j).deliverHead() }
+
+// Handle delays p by a uniform random jitter, preserving order. One
+// event is scheduled per packet (so same-instant ordering against the
+// rest of the simulation is identical to direct scheduling), but the
+// packet rides the Jitter's own ring instead of a captured closure.
 func (j *Jitter) Handle(p *packet.Packet) {
 	d := units.Time(0)
 	if j.Max > 0 {
@@ -200,7 +214,15 @@ func (j *Jitter) Handle(p *packet.Packet) {
 		t = j.lastDelivery
 	}
 	j.lastDelivery = t
-	j.Sim.At(t, func() { j.Next.Handle(p) })
+	if j.timer == nil {
+		j.timer = (*jitterTimer)(j)
+	}
+	j.pending.Push(p)
+	j.Sim.AtTimer(t, j.timer)
+}
+
+func (j *Jitter) deliverHead() {
+	j.Next.Handle(j.pending.Pop())
 }
 
 // Loss drops packets independently with probability P — a stand-in
@@ -209,14 +231,16 @@ type Loss struct {
 	Sim  *sim.Simulator
 	P    float64
 	Next packet.Handler
+	Pool *packet.Pool // terminal release target for dropped packets
 
 	Dropped int
 }
 
-// Handle drops or forwards p.
+// Handle drops (releasing to Pool) or forwards p.
 func (l *Loss) Handle(p *packet.Packet) {
 	if l.P > 0 && l.Sim.RNG().Float64() < l.P {
 		l.Dropped++
+		l.Pool.Put(p)
 		return
 	}
 	l.Next.Handle(p)

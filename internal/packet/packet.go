@@ -6,6 +6,23 @@
 // Packets are passed by pointer and never copied once created, so a
 // component may stamp metadata (marking, timestamps) in place, in the
 // spirit of gopacket's zero-copy decoding paths.
+//
+// # Ownership
+//
+// Handle takes ownership of its packet. A component does exactly one
+// of three things with a packet it receives:
+//
+//   - forward it to the next Handler (ownership moves with it);
+//   - hold it (a queue, a link in flight, a shaper) and forward later;
+//   - terminate it — deliver, drop, or consume — and release it back
+//     to the simulation's Pool.
+//
+// Nothing may retain a *Packet after its Handle call returns unless
+// it now owns the packet; observers that want to remember a packet
+// (taps, sinks, drop hooks) must copy the value, never keep the
+// pointer — the owner will recycle it. All pool plumbing is nil-safe:
+// a component with a nil Pool falls back to plain heap allocation, so
+// hand-wired tests need no pool at all.
 package packet
 
 import (
@@ -124,6 +141,10 @@ type Packet struct {
 
 	SentAt     units.Time // stamped by the sender
 	EnqueuedAt units.Time // last queue admission time, for delay stats
+
+	// pooled marks packets currently resting in a Pool, to catch
+	// double releases (see Pool.Put).
+	pooled bool
 }
 
 // String summarizes the packet for logs and test failures.
@@ -132,11 +153,133 @@ func (p *Packet) String() string {
 		p.ID, p.Flow, p.Proto, p.Size, p.DSCP, p.FrameSeq, p.FragIndex+1, p.FragCount)
 }
 
+// Pool recycles Packets so the per-packet hot path allocates nothing
+// in the steady state. A Pool is deliberately not goroutine-safe:
+// each simulation (and therefore each runner worker at any given
+// moment) owns its own arena, so packets never cross goroutines.
+//
+// All methods are nil-safe: a nil *Pool allocates from the heap on
+// Get and discards on Put, so pooling is strictly opt-in.
+type Pool struct {
+	free []*Packet
+
+	// Gets counts Get calls, News the subset that had to allocate,
+	// Puts the packets returned. Gets - News is the recycle hit count.
+	Gets, News, Puts uint64
+}
+
+// NewPool returns an empty arena.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet, recycled if possible.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	pl.Gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	pl.News++
+	return &Packet{}
+}
+
+// Put releases p back to the arena. Releasing the same packet twice
+// panics: a double put means two components both believed they owned
+// the packet, which is exactly the aliasing bug the ownership rules
+// exist to prevent.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	if p.pooled {
+		panic("packet: double Put — two owners released the same packet")
+	}
+	p.pooled = true
+	pl.Puts++
+	pl.free = append(pl.free, p)
+}
+
+// Free reports how many packets are currently in the arena.
+func (pl *Pool) Free() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.free)
+}
+
+// Ring is a FIFO of packets on a compacting slice: Pop nils the
+// consumed slot and advances a head index, the backing array restarts
+// once empty, and the consumed prefix is compacted away when it
+// dominates, so memory stays proportional to occupancy and the
+// steady-state push/pop cycle never allocates. It is the shared
+// in-flight/pending structure of queues, links, jitter elements and
+// paced senders. The zero value is an empty ring.
+type Ring struct {
+	items []*Packet
+	head  int
+}
+
+// Len reports the packets currently queued.
+func (r *Ring) Len() int { return len(r.items) - r.head }
+
+// Push appends p.
+func (r *Ring) Push(p *Packet) {
+	if r.head == len(r.items) {
+		// Empty: restart at the front so a ping-pong push/pop reuses
+		// slot zero forever.
+		r.items = r.items[:0]
+		r.head = 0
+	}
+	r.items = append(r.items, p)
+}
+
+// Pop removes and returns the oldest packet, or nil if empty.
+func (r *Ring) Pop() *Packet {
+	if r.head == len(r.items) {
+		return nil
+	}
+	p := r.items[r.head]
+	r.items[r.head] = nil
+	r.head++
+	if r.head == len(r.items) {
+		r.items = r.items[:0]
+		r.head = 0
+	} else if r.head >= 32 && r.head*2 >= len(r.items) {
+		n := copy(r.items, r.items[r.head:])
+		for i := n; i < len(r.items); i++ {
+			r.items[i] = nil
+		}
+		r.items = r.items[:n]
+		r.head = 0
+	}
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil.
+func (r *Ring) Peek() *Packet {
+	if r.head == len(r.items) {
+		return nil
+	}
+	return r.items[r.head]
+}
+
+// Cap reports the size of the ring's backing array, consumed slots
+// included — a boundedness probe for tests.
+func (r *Ring) Cap() int { return cap(r.items) }
+
 // Handler consumes packets. Every data-plane component (policer,
 // queue, link, router, client) implements Handler, so topologies are
 // built by plugging Handlers together.
 type Handler interface {
-	// Handle takes ownership of p at the current simulated time.
+	// Handle takes ownership of p at the current simulated time: the
+	// implementation must forward p, hold it for later forwarding, or
+	// terminate it (releasing it to the pool when one is wired). See
+	// the package comment for the full ownership contract.
 	Handle(p *Packet)
 }
 
@@ -146,25 +289,32 @@ type HandlerFunc func(p *Packet)
 // Handle calls f(p).
 func (f HandlerFunc) Handle(p *Packet) { f(p) }
 
-// Sink is a Handler that counts and otherwise discards everything;
-// useful as a default next hop and in tests.
+// Sink is a terminal Handler that counts and discards everything;
+// useful as a default next hop and in tests. It retains the last
+// packet by value (copy-on-retain), never by pointer, so it is safe
+// behind a pool.
 type Sink struct {
 	Count int
 	Bytes int64
-	Last  *Packet
+	Last  Packet // value copy of the most recent packet
+	Pool  *Pool  // optional: terminal release target
 }
 
-// Handle records and drops p.
+// Handle records and terminates p.
 func (s *Sink) Handle(p *Packet) {
 	s.Count++
 	s.Bytes += int64(p.Size)
-	s.Last = p
+	s.Last = *p
+	s.Pool.Put(p)
 }
 
-// Tee duplicates delivery to both handlers, in order.
+// Tee forwards to an observer A and then to the owner B: A borrows
+// the packet for the duration of its Handle call (it must neither
+// retain nor release it), B takes ownership. With pooling in play a
+// Tee must never point A at a terminal handler.
 type Tee struct{ A, B Handler }
 
-// Handle forwards p to A then B.
+// Handle lends p to A, then hands ownership to B.
 func (t Tee) Handle(p *Packet) {
 	if t.A != nil {
 		t.A.Handle(p)
@@ -174,18 +324,22 @@ func (t Tee) Handle(p *Packet) {
 	}
 }
 
-// Counter wraps a next hop and counts what passes through.
+// Counter wraps a next hop and counts what passes through. With a nil
+// Next it is terminal and releases to Pool (when set).
 type Counter struct {
 	Next  Handler
+	Pool  *Pool
 	Count int
 	Bytes int64
 }
 
-// Handle counts p then forwards it.
+// Handle counts p then forwards it, or terminates it when Next is nil.
 func (c *Counter) Handle(p *Packet) {
 	c.Count++
 	c.Bytes += int64(p.Size)
 	if c.Next != nil {
 		c.Next.Handle(p)
+		return
 	}
+	c.Pool.Put(p)
 }

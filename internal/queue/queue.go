@@ -22,12 +22,13 @@ import (
 
 // FIFO is a bounded drop-tail queue measured in packets and bytes.
 // Either limit may be zero to disable it. The zero value is an
-// unbounded queue.
+// unbounded queue. The packets ride a packet.Ring, so the
+// steady-state push/pop cycle of a busy port performs no allocation.
 type FIFO struct {
 	MaxPackets int
 	MaxBytes   int64
 
-	pkts  []*packet.Packet
+	ring  packet.Ring
 	bytes int64
 
 	Enqueued      int
@@ -37,7 +38,7 @@ type FIFO struct {
 }
 
 // Len reports the number of queued packets.
-func (q *FIFO) Len() int { return len(q.pkts) }
+func (q *FIFO) Len() int { return q.ring.Len() }
 
 // Bytes reports the queued byte count.
 func (q *FIFO) Bytes() int64 { return q.bytes }
@@ -45,7 +46,7 @@ func (q *FIFO) Bytes() int64 { return q.bytes }
 // Push appends p, or drops it (returning false) if a limit would be
 // exceeded.
 func (q *FIFO) Push(p *packet.Packet) bool {
-	if q.MaxPackets > 0 && len(q.pkts) >= q.MaxPackets {
+	if q.MaxPackets > 0 && q.ring.Len() >= q.MaxPackets {
 		q.Dropped++
 		q.DroppedBytes += int64(p.Size)
 		return false
@@ -55,7 +56,7 @@ func (q *FIFO) Push(p *packet.Packet) bool {
 		q.DroppedBytes += int64(p.Size)
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	q.ring.Push(p)
 	q.bytes += int64(p.Size)
 	q.Enqueued++
 	q.EnqueuedBytes += int64(p.Size)
@@ -64,23 +65,15 @@ func (q *FIFO) Push(p *packet.Packet) bool {
 
 // Pop removes and returns the head packet, or nil if empty.
 func (q *FIFO) Pop() *packet.Packet {
-	if len(q.pkts) == 0 {
-		return nil
+	p := q.ring.Pop()
+	if p != nil {
+		q.bytes -= int64(p.Size)
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
-	q.bytes -= int64(p.Size)
 	return p
 }
 
 // Peek returns the head packet without removing it, or nil.
-func (q *FIFO) Peek() *packet.Packet {
-	if len(q.pkts) == 0 {
-		return nil
-	}
-	return q.pkts[0]
-}
+func (q *FIFO) Peek() *packet.Packet { return q.ring.Peek() }
 
 // ClassStats is the uniform per-class counter set every Scheduler
 // exposes: what the class admitted, dropped, and currently holds.

@@ -44,6 +44,27 @@ func Workers(n int) int {
 // promptly and is attributable rather than silently swallowed by a
 // worker goroutine.
 func Map[T any](workers int, jobs []func() T) []T {
+	wrapped := make([]func(struct{}) T, len(jobs))
+	for i, job := range jobs {
+		job := job
+		wrapped[i] = func(struct{}) T { return job() }
+	}
+	return MapArena(workers, func() struct{} { return struct{}{} }, wrapped)
+}
+
+// MapArena is Map for jobs that want a per-worker arena: newArena is
+// called once per worker goroutine (once total in the serial case)
+// and the worker passes its arena to every job it executes. An arena
+// therefore never crosses goroutines and never sees two jobs
+// concurrently — the contract that lets simulations reuse packet and
+// event pools across jobs without any locking. Jobs must not let the
+// arena outlive their call.
+//
+// Everything else matches Map: results are collected by job index, so
+// output is byte-identical at every parallelism level provided jobs
+// are deterministic functions of their inputs (arena reuse must not
+// leak state between jobs — pools hand out zeroed objects).
+func MapArena[A, T any](workers int, newArena func() A, jobs []func(A) T) []T {
 	results := make([]T, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -53,6 +74,7 @@ func Map[T any](workers int, jobs []func() T) []T {
 		w = len(jobs)
 	}
 	if w <= 1 {
+		arena := newArena()
 		for i, job := range jobs {
 			func() {
 				defer func() {
@@ -60,7 +82,7 @@ func Map[T any](workers int, jobs []func() T) []T {
 						panic(fmt.Sprintf("runner: job %d panicked: %v", i, r))
 					}
 				}()
-				results[i] = job()
+				results[i] = job(arena)
 			}()
 		}
 		return results
@@ -81,6 +103,7 @@ func Map[T any](workers int, jobs []func() T) []T {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := newArena()
 			for i := range next {
 				if failed.Load() {
 					continue
@@ -96,7 +119,7 @@ func Map[T any](workers int, jobs []func() T) []T {
 							mu.Unlock()
 						}
 					}()
-					results[i] = jobs[i]()
+					results[i] = jobs[i](arena)
 				}(i)
 			}
 		}()

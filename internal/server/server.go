@@ -49,18 +49,36 @@ type Paced struct {
 	Enc  *video.Encoding
 	Flow packet.FlowID
 	Next packet.Handler
+	Pool *packet.Pool // packet arena; nil falls back to the heap
 
 	// MsgSize is the application message payload per packet; the
 	// VideoCharger "allows smaller message sizes" (§2.2). Default:
 	// one MTU's worth.
 	MsgSize int
 	// PaceSpread is the fraction of the frame interval across which a
-	// frame's packets are spread (default 0.85).
+	// frame's packets are spread (default 0.95). Values above 1 panic
+	// in Start: the send ring relies on a frame's fragments finishing
+	// before the next frame starts, which holds for any spread ≤ 1
+	// (the last fragment leaves at spread·(frags-1)/frags of the
+	// interval, strictly inside it).
 	PaceSpread float64
 
 	Sent      int
 	SentBytes int64
+
+	// Pending fragment sends, delivery order. Fragment send times are
+	// strictly increasing (within a frame by construction, across
+	// frames because a frame's spread never reaches the next frame
+	// time), so a FIFO ring plus one Timer replaces the per-fragment
+	// closures.
+	pending packet.Ring
 }
+
+// pacedSendTimer is the pointer-conversion Timer of a Paced server.
+type pacedSendTimer Paced
+
+// Fire transmits the oldest pending fragment.
+func (s *pacedSendTimer) Fire(units.Time) { (*Paced)(s).sendHead() }
 
 // Start schedules the whole clip's transmission.
 func (s *Paced) Start() {
@@ -69,6 +87,9 @@ func (s *Paced) Start() {
 	}
 	if s.PaceSpread <= 0 {
 		s.PaceSpread = 0.95
+	}
+	if s.PaceSpread > 1 {
+		panic("server: Paced.PaceSpread > 1 would overlap adjacent frames' sends")
 	}
 	interval := video.FrameInterval()
 	for i := range s.Enc.Frames {
@@ -90,22 +111,26 @@ func (s *Paced) sendFrame(i int) {
 		if j == frags-1 {
 			payload = size - (frags-1)*s.MsgSize
 		}
-		p := &packet.Packet{
-			ID: nextID(), Flow: s.Flow, Proto: packet.UDP,
-			Size:     payload + UDPHeader,
-			FrameSeq: i, FragIndex: j, FragCount: frags,
-		}
+		p := s.Pool.Get()
+		p.ID, p.Flow, p.Proto = nextID(), s.Flow, packet.UDP
+		p.Size = payload + UDPHeader
+		p.FrameSeq, p.FragIndex, p.FragCount = i, j, frags
 		var at units.Time
 		if frags > 1 {
 			at = units.Time(int64(spread) * int64(j) / int64(frags))
 		}
-		s.Sim.After(at, func() {
-			p.SentAt = s.Sim.Now()
-			s.Sent++
-			s.SentBytes += int64(p.Size)
-			s.Next.Handle(p)
-		})
+		s.pending.Push(p)
+		s.Sim.AfterTimer(at, (*pacedSendTimer)(s))
 	}
+}
+
+// sendHead transmits the ring head at its scheduled instant.
+func (s *Paced) sendHead() {
+	p := s.pending.Pop()
+	p.SentAt = s.Sim.Now()
+	s.Sent++
+	s.SentBytes += int64(p.Size)
+	s.Next.Handle(p)
 }
 
 // MaxDatagram is the largest application datagram the bursty servers
@@ -124,6 +149,7 @@ type Burst struct {
 	Enc      *video.Encoding
 	Flow     packet.FlowID
 	Next     packet.Handler
+	Pool     *packet.Pool  // packet arena; nil falls back to the heap
 	HostRate units.BitRate // NIC serialization rate; default 100 Mbps
 
 	// Adaptation configuration.
@@ -213,11 +239,10 @@ func (b *Burst) sendFrame(i int) {
 		if payload > MaxUDPPayload {
 			payload = MaxUDPPayload
 		}
-		p := &packet.Packet{
-			ID: nextID(), Flow: b.Flow, Proto: packet.UDP,
-			Size:     payload + UDPHeader,
-			FrameSeq: i, FragIndex: sent, FragCount: frags,
-		}
+		p := b.Pool.Get()
+		p.ID, p.Flow, p.Proto = nextID(), b.Flow, packet.UDP
+		p.Size = payload + UDPHeader
+		p.FrameSeq, p.FragIndex, p.FragCount = i, sent, frags
 		b.Sim.After(at, func() {
 			p.SentAt = b.Sim.Now()
 			b.Sent++
@@ -240,6 +265,7 @@ type WMTUDP struct {
 	Enc      *video.Encoding
 	Flow     packet.FlowID
 	Next     packet.Handler
+	Pool     *packet.Pool  // packet arena; nil falls back to the heap
 	HostRate units.BitRate // default 10 Mbps Ethernet
 
 	Sent      int
@@ -270,11 +296,10 @@ func (s *WMTUDP) sendFrame(i int) {
 		if j == frags-1 {
 			payload = size - (frags-1)*MaxUDPPayload
 		}
-		p := &packet.Packet{
-			ID: nextID(), Flow: s.Flow, Proto: packet.UDP,
-			Size:     payload + UDPHeader,
-			FrameSeq: i, FragIndex: j, FragCount: frags,
-		}
+		p := s.Pool.Get()
+		p.ID, p.Flow, p.Proto = nextID(), s.Flow, packet.UDP
+		p.Size = payload + UDPHeader
+		p.FrameSeq, p.FragIndex, p.FragCount = i, j, frags
 		s.Sim.After(at, func() {
 			p.SentAt = s.Sim.Now()
 			s.Sent++
@@ -341,6 +366,7 @@ type Adaptive struct {
 	Encs []*video.Encoding // ordered low rate -> high rate
 	Flow packet.FlowID
 	Next packet.Handler
+	Pool *packet.Pool // packet arena; nil falls back to the heap
 
 	FeedbackEvery units.Time
 	lossProbe     func() float64
@@ -401,11 +427,10 @@ func (a *Adaptive) sendFrame(i int) {
 		if j == frags-1 {
 			payload = size - (frags-1)*MaxUDPPayload
 		}
-		p := &packet.Packet{
-			ID: nextID(), Flow: a.Flow, Proto: packet.UDP,
-			Size:     payload + UDPHeader,
-			FrameSeq: i, FragIndex: j, FragCount: frags,
-		}
+		p := a.Pool.Get()
+		p.ID, p.Flow, p.Proto = nextID(), a.Flow, packet.UDP
+		p.Size = payload + UDPHeader
+		p.FrameSeq, p.FragIndex, p.FragCount = i, j, frags
 		at := units.Time(int64(interval) * 8 / 10 * int64(j) / int64(frags))
 		a.Sim.After(at, func() {
 			p.SentAt = a.Sim.Now()

@@ -1,87 +1,160 @@
 // Package sim is a deterministic discrete-event simulation engine.
 //
-// A Simulator owns a virtual clock and a priority queue of timestamped
-// events. Components schedule closures with At or After; Run drains the
-// queue in (time, sequence) order so that two events scheduled for the
-// same instant fire in scheduling order, which keeps every experiment
+// A Simulator owns a virtual clock and a pending-event structure
+// ordered by (time, sequence): two events scheduled for the same
+// instant fire in scheduling order, which keeps every experiment
 // bit-for-bit reproducible for a given seed.
+//
+// # Scheduling APIs
+//
+// There are two ways to schedule work:
+//
+//   - At / After take a closure. Convenient, but each call heap
+//     allocates the closure (plus whatever it captures), so they are
+//     meant for setup-time and low-rate scheduling.
+//   - AtTimer / AfterTimer take a Timer — any value with a
+//     Fire(now units.Time) method. A component that keeps one
+//     long-lived Timer value (typically a pointer-conversion type of
+//     the component itself) schedules with zero allocations per
+//     event, which is what the per-packet hot paths use.
+//
+// Both return a Handle. Events themselves are pooled: once fired or
+// cancelled an Event is recycled, so steady-state scheduling performs
+// no allocation at all. Handles are generation-checked, so a stale
+// Handle held after its event fired is inert — Cancel on it is a
+// no-op and Active reports false — never a corruption of whichever
+// event happens to be reusing the same slot.
+//
+// # Internal structure
+//
+// Pending events live in a calendar queue: a window of fixed-width
+// time buckets covering the near future, with a binary-heap overflow
+// for events beyond the window. Dequeue cost is O(1) amortized for
+// the dense near-future traffic a packet simulation generates, while
+// far-future events (a clip's whole frame schedule, multi-second
+// timeouts) wait in the heap and migrate into buckets as the window
+// advances. Selection is always by the unique (time, seq) key, so the
+// firing order is exactly the order a single global heap would
+// produce — the structure is a performance choice, not a semantic
+// one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
 )
 
-// Event is a scheduled callback.
-type Event struct {
-	when   units.Time
-	seq    uint64
-	fn     func()
-	owner  *Simulator
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+// Timer is the closure-free scheduling interface: Fire runs at the
+// scheduled instant with the simulator clock already advanced to it.
+// Components implement Fire on cheap pointer-conversion types (e.g.
+// `type txDoneTimer Link`) so one long-lived interface value serves
+// every scheduling of that callback.
+type Timer interface {
+	Fire(now units.Time)
 }
 
-// Cancel prevents the event from firing and removes it from the
-// owner's queue immediately, so cancelled events neither inflate
-// Pending() nor pin their closures until their timestamp is reached.
-// Safe to call multiple times and after the event has fired (then it
-// is a no-op).
-func (e *Event) Cancel() {
-	if e == nil || e.cancel {
+// Event is one pending callback. Events are owned and recycled by the
+// Simulator; user code only ever holds Handles.
+type Event struct {
+	when      units.Time
+	seq       uint64
+	fn        func()
+	timer     Timer
+	gen       uint32
+	cancelled bool
+	sim       *Simulator
+}
+
+// release clears an event's payload and returns it to the free list.
+// Bumping the generation invalidates every Handle pointing at it.
+func (s *Simulator) release(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.timer = nil
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
+
+// Handle identifies a scheduled event. The zero Handle is valid and
+// inactive. Handles are generation-checked: once the event fires or
+// is cancelled, the handle goes stale and every method is a no-op.
+type Handle struct {
+	e   *Event
+	gen uint32
+}
+
+// Active reports whether the event is still pending: not yet fired
+// and not cancelled.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.gen == h.gen && !h.e.cancelled
+}
+
+// When reports the scheduled time of a still-active event; 0 for a
+// stale or cancelled handle.
+func (h Handle) When() units.Time {
+	if !h.Active() {
+		return 0
+	}
+	return h.e.when
+}
+
+// Cancel prevents a pending event from firing. The closure or Timer
+// is released immediately — a cancelled event pins nothing until its
+// timestamp — and Pending() drops at once. Safe to call any number of
+// times, on the zero Handle, and after the event has fired (all
+// no-ops).
+func (h Handle) Cancel() {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.cancelled {
 		return
 	}
-	e.cancel = true
-	if e.owner != nil && e.index >= 0 {
-		heap.Remove(&e.owner.queue, e.index)
-		e.fn = nil // release the closure and whatever it captures
+	e.cancelled = true
+	e.fn = nil
+	e.timer = nil
+	e.sim.live--
+	// Cancelling anything other than the cached minimum cannot change
+	// the minimum, so the peek cache survives.
+	if e.sim.cachedMin == e {
+		e.sim.cachedMin = nil
 	}
 }
 
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+// numBuckets is the calendar window size. 256 buckets of bucketWidth
+// cover 64 ms — a few frame intervals of a streaming experiment —
+// which keeps per-bucket occupancy near one for packet-rate traffic.
+const numBuckets = 256
 
-// When reports the simulated time the event is scheduled for.
-func (e *Event) When() units.Time { return e.when }
+// bucketWidth is the fixed calendar bucket granularity.
+const bucketWidth = 250 * units.Microsecond
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
-// Simulator owns the event queue, the virtual clock, and the run's
-// random number source. The zero value is not usable; call New.
+// Simulator owns the event structures, the virtual clock, and the
+// run's random number source. The zero value is not usable; call New.
 type Simulator struct {
-	now    units.Time
-	queue  eventQueue
-	seq    uint64
-	rng    *RNG
+	now units.Time
+	seq uint64
+	rng *RNG
+
+	// Calendar window: buckets[i] holds events with
+	// when < base + (i+1)*bucketWidth (an event may sit in an earlier
+	// bucket than its natural one, never a later one). Events at or
+	// beyond the window end wait in the overflow heap.
+	buckets  [numBuckets][]*Event
+	base     units.Time
+	cur      int // lowest possibly non-empty bucket
+	nBuckets int // events physically present in buckets
+	overflow []*Event
+
+	// min() caches the located minimum so the Run loop's
+	// peek-then-pop costs one scan, not two. The minimum always lives
+	// in a bucket: the window-advance path migrates at least the
+	// overflow top into the window before returning.
+	cachedMin    *Event
+	cachedBucket int
+	cachedSlot   int
+
+	live   int // pending, non-cancelled events (Pending)
+	free   []*Event
 	fired  uint64
 	maxT   units.Time // horizon; 0 means none
 	halted bool
@@ -101,30 +174,173 @@ func (s *Simulator) RNG() *RNG { return s.rng }
 // Fired reports how many events have executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports how many live events remain queued. Cancelled
-// events are removed from the queue at Cancel time, so they never
-// count here.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports how many live events remain scheduled. Cancelled
+// events stop counting at Cancel time even though their slots are
+// reclaimed lazily.
+func (s *Simulator) Pending() int { return s.live }
+
+// alloc takes an event from the free list (or the heap allocator on a
+// cold start) and initializes it for scheduling at t.
+func (s *Simulator) alloc(t units.Time) *Event {
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{sim: s}
+	}
+	e.when = t
+	e.seq = s.seq
+	s.seq++
+	return e
+}
+
+// schedule inserts e into the calendar window or the overflow heap.
+func (s *Simulator) schedule(e *Event) {
+	s.live++
+	s.cachedMin = nil
+	end := s.base + units.Time(numBuckets)*bucketWidth
+	if e.when >= end {
+		s.heapPush(e)
+		return
+	}
+	i := 0
+	if e.when > s.base {
+		i = int((e.when - s.base) / bucketWidth)
+	}
+	if i < s.cur {
+		s.cur = i
+	}
+	s.buckets[i] = append(s.buckets[i], e)
+	s.nBuckets++
+}
+
+func (s *Simulator) checkPast(t units.Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in
 // the past panics: that is always a logic error in a discrete-event
 // model and silently reordering time would corrupt the run.
-func (s *Simulator) At(t units.Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
-	}
-	e := &Event{when: t, seq: s.seq, fn: fn, owner: s}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+func (s *Simulator) At(t units.Time, fn func()) Handle {
+	s.checkPast(t)
+	e := s.alloc(t)
+	e.fn = fn
+	s.schedule(e)
+	return Handle{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now.
-func (s *Simulator) After(d units.Time, fn func()) *Event {
+func (s *Simulator) After(d units.Time, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtTimer schedules tm.Fire at absolute time t without allocating.
+func (s *Simulator) AtTimer(t units.Time, tm Timer) Handle {
+	s.checkPast(t)
+	e := s.alloc(t)
+	e.timer = tm
+	s.schedule(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// AfterTimer schedules tm.Fire d from now without allocating.
+func (s *Simulator) AfterTimer(d units.Time, tm Timer) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtTimer(s.now+d, tm)
+}
+
+// min locates (and caches) the earliest pending event, lazily purging
+// cancelled events it passes over. Returns nil when nothing is
+// pending.
+func (s *Simulator) min() *Event {
+	if s.cachedMin != nil {
+		return s.cachedMin
+	}
+	for {
+		// Scan the window from the cursor — but only when something is
+		// physically in it, so draining the queue does not walk every
+		// empty bucket.
+		for b := s.cur; s.nBuckets > 0 && b < numBuckets; b++ {
+			bucket := s.buckets[b]
+			var best *Event
+			slot := -1
+			for i := 0; i < len(bucket); {
+				e := bucket[i]
+				if e.cancelled {
+					// Swap-delete and recycle; selection is by the
+					// unique (when, seq) key, so storage order within
+					// a bucket is irrelevant.
+					last := len(bucket) - 1
+					bucket[i] = bucket[last]
+					bucket[last] = nil
+					bucket = bucket[:last]
+					s.nBuckets--
+					s.release(e)
+					continue
+				}
+				if best == nil || e.when < best.when || (e.when == best.when && e.seq < best.seq) {
+					best, slot = e, i
+				}
+				i++
+			}
+			s.buckets[b] = bucket
+			if best != nil {
+				s.cur = b
+				s.cachedMin, s.cachedBucket, s.cachedSlot = best, b, slot
+				return best
+			}
+			s.cur = b + 1
+		}
+		// Window exhausted: purge cancelled overflow tops, then either
+		// finish (empty) or advance the window to the overflow minimum
+		// and migrate everything that now fits.
+		for len(s.overflow) > 0 && s.overflow[0].cancelled {
+			s.release(s.heapPop())
+		}
+		if len(s.overflow) == 0 {
+			return nil
+		}
+		s.base = s.overflow[0].when
+		s.cur = 0
+		end := s.base + units.Time(numBuckets)*bucketWidth
+		for len(s.overflow) > 0 && s.overflow[0].when < end {
+			e := s.heapPop()
+			if e.cancelled {
+				s.release(e)
+				continue
+			}
+			i := int((e.when - s.base) / bucketWidth)
+			s.buckets[i] = append(s.buckets[i], e)
+			s.nBuckets++
+		}
+	}
+}
+
+// popMin removes the event min() located (always bucket-resident —
+// see the cachedMin field comment).
+func (s *Simulator) popMin() *Event {
+	e := s.min()
+	if e == nil {
+		return nil
+	}
+	bucket := s.buckets[s.cachedBucket]
+	last := len(bucket) - 1
+	bucket[s.cachedSlot] = bucket[last]
+	bucket[last] = nil
+	s.buckets[s.cachedBucket] = bucket[:last]
+	s.nBuckets--
+	s.cachedMin = nil
+	s.live--
+	return e
 }
 
 // Halt stops Run before the next event fires. Intended to be called
@@ -135,28 +351,35 @@ func (s *Simulator) Halt() { s.halted = true }
 // the horizon.
 func (s *Simulator) SetHorizon(t units.Time) { s.maxT = t }
 
-// Run executes events until the queue is empty, the horizon passes, or
-// Halt is called. It returns the final simulated time.
+// Run executes events until none remain pending, the horizon passes,
+// or Halt is called. It returns the final simulated time.
 func (s *Simulator) Run() units.Time {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
+	for !s.halted {
+		e := s.min()
+		if e == nil {
+			break
+		}
 		// Peek: an event beyond the horizon must stay queued so a
 		// later Run/RunUntil can still execute it.
-		if s.maxT > 0 && s.queue[0].when > s.maxT {
+		if s.maxT > 0 && e.when > s.maxT {
 			if s.now < s.maxT {
 				s.now = s.maxT
 			}
 			return s.now
 		}
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			// Unreachable in normal operation — Cancel removes the
-			// event from the queue — but kept as a guard.
-			continue
-		}
+		s.popMin()
 		s.now = e.when
 		s.fired++
-		e.fn()
+		fn, tm := e.fn, e.timer
+		// Recycle before firing so a periodic Timer's re-schedule
+		// reuses this very event — the steady state allocates nothing.
+		s.release(e)
+		if tm != nil {
+			tm.Fire(s.now)
+		} else {
+			fn()
+		}
 	}
 	return s.now
 }
@@ -168,4 +391,60 @@ func (s *Simulator) RunUntil(t units.Time) units.Time {
 	s.maxT = t
 	defer func() { s.maxT = old }()
 	return s.Run()
+}
+
+// --- overflow heap (min by (when, seq)) ---
+//
+// Hand-rolled rather than container/heap to avoid the interface
+// boxing on every push/pop of the hot path.
+
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapPush(e *Event) {
+	s.overflow = append(s.overflow, e)
+	i := len(s.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.overflow[i], s.overflow[parent]) {
+			break
+		}
+		s.overflow[i], s.overflow[parent] = s.overflow[parent], s.overflow[i]
+		i = parent
+	}
+}
+
+func (s *Simulator) heapPop() *Event {
+	h := s.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	s.overflow = h[:last]
+	s.siftDown(0)
+	return top
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.overflow
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }

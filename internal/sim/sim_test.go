@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/units"
@@ -38,23 +40,66 @@ func TestSameTimeFIFO(t *testing.T) {
 	}
 }
 
+// TestCalendarMatchesReferenceOrder stress-tests the calendar queue
+// against the (time, seq) reference order across bucket boundaries,
+// window migrations and same-time ties.
+func TestCalendarMatchesReferenceOrder(t *testing.T) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(7))
+	type key struct {
+		when units.Time
+		seq  int
+	}
+	var want []key
+	var got []key
+	for i := 0; i < 5000; i++ {
+		// Mix sub-bucket, in-window and far-overflow times.
+		var when units.Time
+		switch rng.Intn(3) {
+		case 0:
+			when = units.Time(rng.Int63n(int64(bucketWidth)))
+		case 1:
+			when = units.Time(rng.Int63n(int64(numBuckets * bucketWidth)))
+		default:
+			when = units.Time(rng.Int63n(int64(10 * units.Second)))
+		}
+		i := i
+		w := when
+		s.At(when, func() { got = append(got, key{w, i}) })
+		want = append(want, key{when, i})
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestCancel(t *testing.T) {
 	s := New(1)
 	fired := false
 	e := s.At(units.Second, func() { fired = true })
+	if !e.Active() {
+		t.Fatal("fresh handle not active")
+	}
 	e.Cancel()
 	s.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Error("Cancelled() = false")
+	if e.Active() {
+		t.Error("Active() = true after Cancel")
 	}
 }
 
-func TestCancelRemovesFromQueue(t *testing.T) {
+func TestCancelStopsCountingInPending(t *testing.T) {
 	s := New(1)
-	events := make([]*Event, 100)
+	events := make([]Handle, 100)
 	for i := range events {
 		events[i] = s.At(units.Time(i+1)*units.Millisecond, func() {})
 	}
@@ -72,7 +117,11 @@ func TestCancelRemovesFromQueue(t *testing.T) {
 	}
 }
 
-func TestCancelTwiceAndAfterFire(t *testing.T) {
+// TestCancelAfterFireIsInert is the regression test for the stale
+// handle hazard: once an event fired (and its Event slot was
+// recycled), Cancel through the old handle must not touch whatever
+// event is now using the slot, and the closure must not stay pinned.
+func TestCancelAfterFireIsInert(t *testing.T) {
 	s := New(1)
 	n := 0
 	e := s.At(units.Millisecond, func() { n++ })
@@ -80,25 +129,46 @@ func TestCancelTwiceAndAfterFire(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("event did not fire")
 	}
-	e.Cancel() // after firing: must be a no-op, not a heap corruption
+	if e.Active() {
+		t.Error("handle still active after fire")
+	}
+	e.Cancel() // after firing: must be a no-op
 	e.Cancel() // and idempotent
 	if s.Pending() != 0 {
 		t.Errorf("Pending = %d", s.Pending())
 	}
-	// The queue must still work after post-fire cancels.
-	s.At(2*units.Millisecond, func() { n++ })
+	// The recycled slot is likely reused by the next schedule; the
+	// stale handle must not be able to cancel the new occupant.
+	e2 := s.At(2*units.Millisecond, func() { n++ })
+	e.Cancel()
+	if !e2.Active() {
+		t.Fatal("stale Cancel deactivated a recycled event")
+	}
 	s.Run()
 	if n != 2 {
 		t.Errorf("n = %d after post-cancel schedule", n)
 	}
 }
 
+// TestCancelReleasesClosure verifies a cancelled event does not pin
+// its closure until its timestamp: the event's fn is nilled at Cancel
+// time even though the slot is reclaimed lazily.
+func TestCancelReleasesClosure(t *testing.T) {
+	s := New(1)
+	big := make([]byte, 1<<20)
+	h := s.At(3600*units.Second, func() { _ = big })
+	h.Cancel()
+	if h.e.fn != nil || h.e.timer != nil {
+		t.Fatal("cancelled event still pins its callback")
+	}
+}
+
 func TestCancelInterleavedKeepsOrdering(t *testing.T) {
-	// Removing from the middle of the heap must not disturb the
-	// (time, seq) ordering of the surviving events.
+	// Cancelling a subset must not disturb the (time, seq) ordering of
+	// the surviving events.
 	s := New(1)
 	var order []int
-	var cancels []*Event
+	var cancels []Handle
 	for i := 0; i < 50; i++ {
 		i := i
 		e := s.At(units.Time(50-i)*units.Millisecond, func() { order = append(order, 50-i) })
@@ -112,8 +182,52 @@ func TestCancelInterleavedKeepsOrdering(t *testing.T) {
 	s.Run()
 	for j := 1; j < len(order); j++ {
 		if order[j] < order[j-1] {
-			t.Fatalf("ordering broken after mid-heap removals: %v", order)
+			t.Fatalf("ordering broken after lazy removals: %v", order)
 		}
+	}
+}
+
+type countTimer struct {
+	n     int
+	s     *Simulator
+	limit int
+	every units.Time
+}
+
+func (c *countTimer) Fire(now units.Time) {
+	c.n++
+	if c.n < c.limit {
+		c.s.AfterTimer(c.every, c)
+	}
+}
+
+func TestTimerScheduling(t *testing.T) {
+	s := New(1)
+	ct := &countTimer{s: s, limit: 10, every: units.Millisecond}
+	s.AfterTimer(units.Millisecond, ct)
+	s.Run()
+	if ct.n != 10 {
+		t.Fatalf("timer fired %d times, want 10", ct.n)
+	}
+	if s.Now() != 10*units.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestTimerSteadyStateAllocFree(t *testing.T) {
+	s := New(1)
+	ct := &countTimer{s: s, limit: 1 << 30, every: units.Microsecond}
+	// Warm the free list and bucket slices.
+	ct.limit = 100
+	s.AfterTimer(0, ct)
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		ct.limit = ct.n + 10
+		s.AfterTimer(units.Microsecond, ct)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state timer scheduling allocates %.1f/op, want 0", allocs)
 	}
 }
 
@@ -162,6 +276,21 @@ func TestHorizonKeepsFutureEvents(t *testing.T) {
 	s.RunUntil(3 * units.Second)
 	if !fired {
 		t.Fatal("event lost across RunUntil boundary")
+	}
+}
+
+// TestScheduleBehindAdvancedWindow covers the calendar cursor reset:
+// after the window advances to a far-future event (horizon pause), a
+// new event scheduled before the window base must still fire first.
+func TestScheduleBehindAdvancedWindow(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.At(10*units.Second, func() { order = append(order, "far") })
+	s.RunUntil(units.Second) // advances the window toward the far event
+	s.At(2*units.Second, func() { order = append(order, "near") })
+	s.Run()
+	if len(order) != 2 || order[0] != "near" || order[1] != "far" {
+		t.Fatalf("order = %v", order)
 	}
 }
 
@@ -214,5 +343,28 @@ func TestFiredCount(t *testing.T) {
 	s.Run()
 	if s.Fired() != 7 {
 		t.Errorf("Fired = %d", s.Fired())
+	}
+}
+
+func TestZeroHandle(t *testing.T) {
+	var h Handle
+	if h.Active() {
+		t.Error("zero handle active")
+	}
+	if h.When() != 0 {
+		t.Error("zero handle has a When")
+	}
+	h.Cancel() // must not panic
+}
+
+func TestHandleWhen(t *testing.T) {
+	s := New(1)
+	h := s.At(3*units.Second, func() {})
+	if h.When() != 3*units.Second {
+		t.Errorf("When = %v", h.When())
+	}
+	h.Cancel()
+	if h.When() != 0 {
+		t.Errorf("When after cancel = %v", h.When())
 	}
 }

@@ -23,7 +23,7 @@ func TestDiagStall(t *testing.T) {
 	snd.Write(total)
 	for sec := 1; sec <= 40; sec++ {
 		s.RunUntil(units.Time(sec) * units.Second)
-		t.Logf("t=%2d una=%8d nxt=%8d cwnd=%6.0f rto=%v inRec=%v dup=%d timeouts=%d rcvNxt=%d ooo=%d del=%d timerNil=%v",
-			sec, snd.sndUna, snd.sndNxt, snd.cwnd, snd.rto, snd.inRecovery, snd.dupAcks, snd.Timeouts, rcv.rcvNxt, len(rcv.ooo), *delivered, snd.rtoTimer == nil)
+		t.Logf("t=%2d una=%8d nxt=%8d cwnd=%6.0f rto=%v inRec=%v dup=%d timeouts=%d rcvNxt=%d ooo=%d del=%d timerIdle=%v",
+			sec, snd.sndUna, snd.sndNxt, snd.cwnd, snd.rto, snd.inRecovery, snd.dupAcks, snd.Timeouts, rcv.rcvNxt, len(rcv.ooo), *delivered, !snd.rtoTimer.Active())
 	}
 }

@@ -32,6 +32,7 @@ type Sender struct {
 	Sim  *sim.Simulator
 	Flow packet.FlowID
 	Out  packet.Handler // forward path toward the receiver
+	Pool *packet.Pool   // segment arena; nil falls back to the heap
 
 	// Congestion state (bytes).
 	cwnd     float64
@@ -47,7 +48,7 @@ type Sender struct {
 	recoverSeq    int64
 	rtoRecovering bool
 	rtoRecover    int64
-	rtoTimer      *sim.Event
+	rtoTimer      sim.Handle
 	rto           units.Time
 	srtt          units.Time
 	rttvar        units.Time
@@ -116,11 +117,10 @@ func (t *Sender) trySend() {
 }
 
 func (t *Sender) sendSegment(seq int64, size int, retrans bool) {
-	p := &packet.Packet{
-		ID: nextID(), Flow: t.Flow, Proto: packet.TCP,
-		Size: size + HeaderSize, Seq: seq,
-		SentAt: t.Sim.Now(), FrameSeq: -1,
-	}
+	p := t.Pool.Get()
+	p.ID, p.Flow, p.Proto = nextID(), t.Flow, packet.TCP
+	p.Size, p.Seq = size+HeaderSize, seq
+	p.SentAt, p.FrameSeq = t.Sim.Now(), -1
 	t.Sent++
 	if retrans {
 		t.Retransmits++
@@ -138,34 +138,35 @@ var idCounter atomic.Uint64
 
 func nextID() uint64 { return idCounter.Add(1) }
 
+// rtoFire is the Sender's retransmission-timeout Timer (a pointer
+// conversion, so arming the RTO never allocates a closure).
+type rtoFire Sender
+
+// Fire runs the retransmission timeout.
+func (t *rtoFire) Fire(units.Time) { (*Sender)(t).onRTO() }
+
 // armRTO starts the retransmission timer if it is not already
 // running. The timer tracks the *oldest* outstanding segment, so
 // ordinary sends must not push it back — only restartRTO (new
 // cumulative ACK) or expiry reset it.
 func (t *Sender) armRTO() {
-	if t.rtoTimer != nil && !t.rtoTimer.Cancelled() {
+	if t.rtoTimer.Active() {
 		return
 	}
 	if t.sndUna >= t.sndNxt {
 		return // nothing outstanding
 	}
-	t.rtoTimer = t.Sim.After(t.rto, t.onRTO)
+	t.rtoTimer = t.Sim.AfterTimer(t.rto, (*rtoFire)(t))
 }
 
 // restartRTO re-bases the timer after progress.
 func (t *Sender) restartRTO() {
-	if t.rtoTimer != nil {
-		t.rtoTimer.Cancel()
-		t.rtoTimer = nil
-	}
+	t.rtoTimer.Cancel()
 	t.armRTO()
 }
 
 func (t *Sender) onRTO() {
-	if t.rtoTimer != nil {
-		t.rtoTimer.Cancel()
-	}
-	t.rtoTimer = nil
+	t.rtoTimer = sim.Handle{} // the firing consumed the event
 	if t.sndUna >= t.sndNxt {
 		return
 	}
@@ -194,10 +195,12 @@ func (t *Sender) onRTO() {
 // allow the application to push more data (used by thinning servers).
 func (t *Sender) OnDeliverable(fn func()) { t.onDeliverable = fn }
 
-// HandleAck processes a cumulative acknowledgment arriving from the
-// receiver's reverse path.
+// HandleAck processes — and consumes — a cumulative acknowledgment
+// arriving from the receiver's reverse path: the ACK packet is
+// released to the sender's pool before returning.
 func (t *Sender) HandleAck(p *packet.Packet) {
 	ack := p.Ack
+	t.Pool.Put(p)
 	switch {
 	case ack > t.sndUna:
 		// New data acknowledged.
@@ -350,6 +353,7 @@ type Receiver struct {
 	Sim     *sim.Simulator
 	Flow    packet.FlowID
 	AckOut  packet.Handler // reverse path toward the sender
+	Pool    *packet.Pool   // ACK arena + release target for data segments
 	Deliver func(newBytes int64)
 
 	rcvNxt int64
@@ -365,7 +369,9 @@ func NewReceiver(s *sim.Simulator, flow packet.FlowID, ackOut packet.Handler, de
 	return &Receiver{Sim: s, Flow: flow, AckOut: ackOut, Deliver: deliver, ooo: make(map[int64]int)}
 }
 
-// Handle consumes a data segment from the network.
+// Handle consumes a data segment from the network: only lengths and
+// sequence numbers matter (payload bytes are virtual), so the packet
+// is read, released to the pool, and acknowledged.
 func (r *Receiver) Handle(p *packet.Packet) {
 	r.Received++
 	payload := int64(p.Size - HeaderSize)
@@ -373,6 +379,7 @@ func (r *Receiver) Handle(p *packet.Packet) {
 		payload = 0
 	}
 	seq := p.Seq
+	r.Pool.Put(p)
 	if seq+payload > r.rcvNxt {
 		if seq <= r.rcvNxt {
 			// In-order (possibly overlapping) data: advance.
@@ -400,10 +407,9 @@ func (r *Receiver) Handle(p *packet.Packet) {
 
 func (r *Receiver) sendAck() {
 	r.Acked++
-	ack := &packet.Packet{
-		ID: nextID(), Flow: r.Flow, Proto: packet.TCP,
-		Size: HeaderSize, Ack: r.rcvNxt, IsAck: true,
-		SentAt: r.Sim.Now(), FrameSeq: -1,
-	}
+	ack := r.Pool.Get()
+	ack.ID, ack.Flow, ack.Proto = nextID(), r.Flow, packet.TCP
+	ack.Size, ack.Ack, ack.IsAck = HeaderSize, r.rcvNxt, true
+	ack.SentAt, ack.FrameSeq = r.Sim.Now(), -1
 	r.AckOut.Handle(ack)
 }

@@ -23,6 +23,11 @@ type Policer struct {
 	next   packet.Handler
 	drop   packet.Handler // optional observer for dropped packets
 
+	// Pool, when set, receives dropped packets — the policer owns its
+	// drops. The drop observer is called first and only borrows the
+	// packet (copy-on-retain).
+	Pool *packet.Pool
+
 	Passed       int
 	Dropped      int
 	PassedBytes  int64
@@ -58,8 +63,9 @@ func (p *Policer) Handle(pkt *packet.Packet) {
 	p.Dropped++
 	p.DroppedBytes += int64(pkt.Size)
 	if p.drop != nil {
-		p.drop.Handle(pkt)
+		p.drop.Handle(pkt) // observer borrows; must not retain or release
 	}
+	p.Pool.Put(pkt)
 }
 
 // LossFraction reports the fraction of packets dropped so far.
@@ -83,7 +89,11 @@ type Shaper struct {
 	mark   packet.DSCP
 	next   packet.Handler
 
-	queue    []*packet.Packet
+	// Pool, when set, receives packets the shaper drops (oversized or
+	// queue overflow).
+	Pool *packet.Pool
+
+	queue    packet.Ring
 	maxQueue int
 	busy     bool
 
@@ -91,6 +101,12 @@ type Shaper struct {
 	Delayed int
 	Dropped int
 }
+
+// shaperTimer is the pointer-conversion Timer of a Shaper.
+type shaperTimer Shaper
+
+// Fire releases the head packet at its conformance time.
+func (sh *shaperTimer) Fire(units.Time) { (*Shaper)(sh).releaseHead() }
 
 // NewShaper returns a shaper with the given profile. maxQueue bounds
 // the number of waiting packets; 0 means a generous default (1024).
@@ -110,12 +126,12 @@ func (sh *Shaper) SetQueueLimit(n int) {
 }
 
 // QueueLen reports the number of packets waiting in the shaper.
-func (sh *Shaper) QueueLen() int { return len(sh.queue) }
+func (sh *Shaper) QueueLen() int { return sh.queue.Len() }
 
 // Handle shapes pkt.
 func (sh *Shaper) Handle(pkt *packet.Packet) {
 	now := sh.sim.Now()
-	if !sh.busy && len(sh.queue) == 0 && sh.bucket.Conform(now, pkt.Size) {
+	if !sh.busy && sh.queue.Len() == 0 && sh.bucket.Conform(now, pkt.Size) {
 		pkt.DSCP = sh.mark
 		sh.Passed++
 		sh.next.Handle(pkt)
@@ -123,13 +139,15 @@ func (sh *Shaper) Handle(pkt *packet.Packet) {
 	}
 	if int64(pkt.Size) > int64(sh.bucket.Depth()) {
 		sh.Dropped++ // can never conform
+		sh.Pool.Put(pkt)
 		return
 	}
-	if len(sh.queue) >= sh.maxQueue {
+	if sh.queue.Len() >= sh.maxQueue {
 		sh.Dropped++
+		sh.Pool.Put(pkt)
 		return
 	}
-	sh.queue = append(sh.queue, pkt)
+	sh.queue.Push(pkt)
 	sh.Delayed++
 	if !sh.busy {
 		sh.scheduleNext()
@@ -137,31 +155,34 @@ func (sh *Shaper) Handle(pkt *packet.Packet) {
 }
 
 func (sh *Shaper) scheduleNext() {
-	if len(sh.queue) == 0 {
+	head := sh.queue.Peek()
+	if head == nil {
 		sh.busy = false
 		return
 	}
-	head := sh.queue[0]
 	t, ok := sh.bucket.NextConformTime(sh.sim.Now(), head.Size)
 	if !ok {
 		// Unreachable given the Handle guard, but keep the queue moving.
-		sh.queue = sh.queue[1:]
+		sh.queue.Pop()
 		sh.Dropped++
+		sh.Pool.Put(head)
 		sh.scheduleNext()
 		return
 	}
 	sh.busy = true
-	sh.sim.At(t, func() {
-		if len(sh.queue) == 0 {
-			sh.busy = false
-			return
-		}
-		p := sh.queue[0]
-		sh.queue = sh.queue[1:]
-		sh.bucket.Debit(sh.sim.Now(), p.Size)
-		p.DSCP = sh.mark
-		sh.Passed++
-		sh.next.Handle(p)
-		sh.scheduleNext()
-	})
+	sh.sim.AtTimer(t, (*shaperTimer)(sh))
+}
+
+// releaseHead forwards the head packet once it conforms.
+func (sh *Shaper) releaseHead() {
+	p := sh.queue.Pop()
+	if p == nil {
+		sh.busy = false
+		return
+	}
+	sh.bucket.Debit(sh.sim.Now(), p.Size)
+	p.DSCP = sh.mark
+	sh.Passed++
+	sh.next.Handle(p)
+	sh.scheduleNext()
 }

@@ -75,6 +75,7 @@ func BuildAF(cfg AFConfig) *AF {
 	a := &AF{Sim: b.Sim()}
 
 	a.Client = client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
+	a.Client.Pool = b.Pool()
 	a.Client.Tolerance = client.SliceTolerance
 	b.Handler("client", a.Client)
 	b.Link("access", LinkSpec{Rate: 10 * units.Mbps, Delay: units.Millisecond,
@@ -117,7 +118,7 @@ func BuildAF(cfg AFConfig) *AF {
 	a.Bottleneck = net.Link("bottleneck")
 	a.Sched = a.Bottleneck.Sched.(*queue.AFScheduler)
 
-	a.Server = &server.Paced{Sim: a.Sim, Enc: cfg.Enc, Flow: VideoFlow, Next: net.Handler("campus")}
+	a.Server = &server.Paced{Sim: a.Sim, Enc: cfg.Enc, Flow: VideoFlow, Next: net.Handler("campus"), Pool: net.Pool}
 	return a
 }
 

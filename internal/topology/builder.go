@@ -176,20 +176,35 @@ func (e *elem) entry() packet.Handler {
 // them reproduces that constructor exactly.
 type Builder struct {
 	sim    *sim.Simulator
+	pool   *packet.Pool
 	elems  []*elem
 	byName map[string]*elem
 	errs   []error
 }
 
 // NewBuilder returns a builder owning a fresh simulator seeded with
-// seed.
+// seed and a fresh packet arena.
 func NewBuilder(seed uint64) *Builder {
-	return &Builder{sim: sim.New(seed), byName: map[string]*elem{}}
+	return &Builder{sim: sim.New(seed), pool: packet.NewPool(), byName: map[string]*elem{}}
 }
 
 // Sim exposes the simulator so endpoints (servers, clients) can be
 // constructed against it before Build.
 func (b *Builder) Sim() *sim.Simulator { return b.sim }
+
+// Pool exposes the builder's packet arena so endpoints built outside
+// the builder (servers, clients, TCP endpoints) can share it.
+func (b *Builder) Pool() *packet.Pool { return b.pool }
+
+// UsePool replaces the builder's packet arena — the experiment runner
+// hands each worker a persistent arena so consecutive jobs on the
+// same worker recycle each other's packets. Must be called before
+// Build and never with an arena owned by another live simulation.
+func (b *Builder) UsePool(p *packet.Pool) {
+	if p != nil {
+		b.pool = p
+	}
+}
 
 func (b *Builder) add(e *elem) *elem {
 	if e.name == "" {
@@ -319,16 +334,19 @@ func (b *Builder) Build() (*Network, error) {
 				sched = PlainFIFO(0)
 			}
 			e.link = link.New(s, e.linkSpec.Rate, e.linkSpec.Delay, sched(s), nil)
+			e.link.Pool = b.pool
 		case kindJitter:
 			e.jitter = &link.Jitter{Sim: s, Max: e.maxJitter}
 		case kindLoss:
-			e.loss = &link.Loss{Sim: s, P: e.lossP}
+			e.loss = &link.Loss{Sim: s, P: e.lossP, Pool: b.pool}
 		case kindRouter:
 			e.router = node.NewRouter(e.name, nil)
 		case kindPolicer:
 			e.policer = tokenbucket.NewPolicer(s, e.rate, e.depth, e.mark, nil)
+			e.policer.Pool = b.pool
 		case kindShaper:
 			e.shaper = tokenbucket.NewShaper(s, e.rate, e.depth, e.mark, nil)
+			e.shaper.Pool = b.pool
 			if e.queueLimit > 0 {
 				e.shaper.SetQueueLimit(e.queueLimit)
 			}
@@ -340,11 +358,11 @@ func (b *Builder) Build() (*Network, error) {
 			sp := e.srcSpec
 			switch sp.Kind {
 			case PoissonSource:
-				e.poisson = &traffic.Poisson{Sim: s, Rate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, Until: sp.Until}
+				e.poisson = &traffic.Poisson{Sim: s, Rate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, Until: sp.Until, Pool: b.pool}
 			case CBRSource:
-				e.cbr = &traffic.CBR{Sim: s, Rate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, Until: sp.Until}
+				e.cbr = &traffic.CBR{Sim: s, Rate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, Until: sp.Until, Pool: b.pool}
 			case OnOffSource:
-				e.onoff = &traffic.OnOff{Sim: s, PeakRate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, MeanOn: sp.MeanOn, MeanOff: sp.MeanOff, Until: sp.Until}
+				e.onoff = &traffic.OnOff{Sim: s, PeakRate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, MeanOn: sp.MeanOn, MeanOff: sp.MeanOff, Until: sp.Until, Pool: b.pool}
 			default:
 				return nil, fmt.Errorf("topology: source %q has unknown kind %d", e.name, sp.Kind)
 			}
@@ -422,7 +440,7 @@ func (b *Builder) Build() (*Network, error) {
 		}
 	}
 
-	return &Network{Sim: s, byName: b.byName}, nil
+	return &Network{Sim: s, Pool: b.pool, byName: b.byName}, nil
 }
 
 // MustBuild is Build for preset code where a wiring error is a bug.
@@ -438,7 +456,11 @@ func (b *Builder) MustBuild() *Network {
 // element, retrievable by name. The typed accessors panic on a missing
 // name or kind mismatch — a wiring bug worth failing loudly on.
 type Network struct {
-	Sim    *sim.Simulator
+	Sim *sim.Simulator
+	// Pool is the simulation's packet arena: every element the builder
+	// created releases and allocates through it, and externally built
+	// endpoints should too.
+	Pool   *packet.Pool
 	byName map[string]*elem
 }
 

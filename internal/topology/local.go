@@ -22,6 +22,7 @@ type LocalConfig struct {
 	Enc       *video.Encoding
 	TokenRate units.BitRate
 	Depth     units.ByteSize
+	Pool      *packet.Pool // packet arena; nil builds a fresh one
 
 	UseTCP bool // TCP streaming with server-side thinning (the usable mode)
 
@@ -81,6 +82,7 @@ type Local struct {
 func BuildLocal(cfg LocalConfig) *Local {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
+	b.UsePool(cfg.Pool)
 	l := &Local{Sim: b.Sim(), enc: cfg.Enc}
 	frames := cfg.Enc.Clip.FrameCount()
 
@@ -94,6 +96,7 @@ func BuildLocal(cfg LocalConfig) *Local {
 		deliver = packet.HandlerFunc(func(p *packet.Packet) { l.Receiver.Handle(p) })
 	} else {
 		l.UDPClient = client.NewUDP(b.Sim(), frames)
+		l.UDPClient.Pool = b.Pool()
 		deliver = l.UDPClient
 	}
 	b.Handler("deliver", deliver)
@@ -147,15 +150,18 @@ func BuildLocal(cfg LocalConfig) *Local {
 	hub1 := net.Handler("hub1")
 	if cfg.UseTCP {
 		l.Sender = tcpsim.NewSender(l.Sim, VideoFlow, hub1)
+		l.Sender.Pool = net.Pool
 		l.Sender.LimitedTransmit = cfg.LimitedTransmit
 		asm := &client.StreamAssembler{}
 		l.Receiver = tcpsim.NewReceiver(l.Sim, VideoFlow, net.Handler("ackback"), func(n int64) {
 			l.TCPClient.OnDelivered(asm, n)
 		})
+		l.Receiver.Pool = net.Pool
 		l.TCPServer = &server.WMTTCP{Sim: l.Sim, Enc: cfg.Enc, Sender: l.Sender, Asm: asm}
 	} else {
 		l.UDPServer = &server.WMTUDP{
 			Sim: l.Sim, Enc: cfg.Enc, Flow: VideoFlow, Next: hub1, HostRate: cfg.HostRate,
+			Pool: net.Pool,
 		}
 	}
 	return l

@@ -81,6 +81,7 @@ type MultiFlowConfig struct {
 	Seed uint64
 	Enc  *video.Encoding // shared by every flow (use the cached encodings)
 	N    int             // video flow count; default 2
+	Pool *packet.Pool    // packet arena; nil builds a fresh one
 
 	TokenRate units.BitRate  // per-flow APS profile; default 1.3×enc nominal is the caller's business
 	Depth     units.ByteSize // per-flow burst size; default 4500
@@ -140,16 +141,18 @@ func flowID(i int) packet.FlowID { return VideoFlow + packet.FlowID(i) }
 func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
+	b.UsePool(cfg.Pool)
 	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, stagger: cfg.Stagger}
 
 	// Receive side: one client per flow behind a demux router; cross
 	// traffic that crosses the bottleneck is absorbed by the default
 	// sink.
-	var sink packet.Sink
+	sink := packet.Sink{Pool: b.Pool()}
 	b.Handler("sink", &sink)
 	b.Router("demux", "sink")
 	for i := 0; i < cfg.N; i++ {
 		cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
+		cl.Pool = b.Pool()
 		cl.Tolerance = client.SliceTolerance
 		m.Clients = append(m.Clients, cl)
 		name := fmt.Sprintf("client%d", i)
@@ -195,6 +198,7 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 		m.Servers = append(m.Servers, &server.Paced{
 			Sim: m.Sim, Enc: cfg.Enc, Flow: flowID(i),
 			Next: net.Handler(fmt.Sprintf("hub%d", i)),
+			Pool: net.Pool,
 		})
 	}
 	return m

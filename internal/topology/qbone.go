@@ -34,6 +34,7 @@ type QBoneConfig struct {
 	TokenRate units.BitRate  // APS profile peak rate
 	Depth     units.ByteSize // APS profile burst size (3000 or 4500)
 	Shape     bool           // shape instead of drop at the border
+	Pool      *packet.Pool   // packet arena; nil builds a fresh one
 
 	Hops         int           // backbone hops; default 4
 	HopRate      units.BitRate // default 45 Mbps
@@ -94,9 +95,11 @@ type QBone struct {
 func BuildQBone(cfg QBoneConfig) *QBone {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
+	b.UsePool(cfg.Pool)
 	q := &QBone{Sim: b.Sim()}
 
 	cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
+	cl.Pool = b.Pool()
 	q.Client = cl
 	b.Handler("client", cl)
 	b.DelayTap("delay", func(p *packet.Packet) bool { return p.Flow == VideoFlow }, "client")
@@ -161,6 +164,7 @@ func BuildQBone(cfg QBoneConfig) *QBone {
 	q.Server = &server.Paced{
 		Sim: q.Sim, Enc: cfg.Enc, Flow: VideoFlow,
 		Next: net.Handler("campus"), MsgSize: cfg.MsgSize,
+		Pool: net.Pool,
 	}
 	return q
 }

@@ -3,6 +3,10 @@
 // could not control interfering traffic; the simulator injects it
 // explicitly so its effect on the EF service can be studied (and, as
 // the paper found, shown to be minor when EF is prioritized).
+//
+// Every source emits through the sim.Timer API and draws packets from
+// an optional packet.Pool, so a running source allocates nothing per
+// packet.
 package traffic
 
 import (
@@ -33,30 +37,36 @@ type CBR struct {
 	Flow  packet.FlowID
 	DSCP  packet.DSCP
 	Next  packet.Handler
+	Pool  *packet.Pool
 	Until units.Time // stop time; 0 = run to horizon
 
 	Sent int
 }
+
+// cbrTimer is the pointer-conversion Timer of a CBR source.
+type cbrTimer CBR
+
+// Fire emits the next packet.
+func (c *cbrTimer) Fire(units.Time) { (*CBR)(c).emit() }
 
 // Start schedules the first emission.
 func (c *CBR) Start() {
 	if c.Size <= 0 {
 		c.Size = units.EthernetMTU
 	}
-	c.Sim.After(0, c.emit)
+	c.Sim.AfterTimer(0, (*cbrTimer)(c))
 }
 
 func (c *CBR) emit() {
 	if c.Until > 0 && c.Sim.Now() >= c.Until {
 		return
 	}
-	p := &packet.Packet{
-		ID: NewPacketID(), Flow: c.Flow, Size: c.Size,
-		DSCP: c.DSCP, SentAt: c.Sim.Now(), FrameSeq: -1,
-	}
+	p := c.Pool.Get()
+	p.ID, p.Flow, p.Size = NewPacketID(), c.Flow, c.Size
+	p.DSCP, p.SentAt, p.FrameSeq = c.DSCP, c.Sim.Now(), -1
 	c.Sent++
 	c.Next.Handle(p)
-	c.Sim.After(c.Rate.TxTime(c.Size), c.emit)
+	c.Sim.AfterTimer(c.Rate.TxTime(c.Size), (*cbrTimer)(c))
 }
 
 // Poisson emits fixed-size packets with exponential inter-arrivals
@@ -68,11 +78,18 @@ type Poisson struct {
 	Flow  packet.FlowID
 	DSCP  packet.DSCP
 	Next  packet.Handler
+	Pool  *packet.Pool
 	Until units.Time
 
 	rng  *sim.RNG
 	Sent int
 }
+
+// poissonTimer is the pointer-conversion Timer of a Poisson source.
+type poissonTimer Poisson
+
+// Fire emits one arrival and schedules the next.
+func (p *poissonTimer) Fire(units.Time) { (*Poisson)(p).arrive() }
 
 // Start forks a dedicated RNG stream and schedules the first arrival.
 func (p *Poisson) Start() {
@@ -86,18 +103,19 @@ func (p *Poisson) Start() {
 func (p *Poisson) scheduleNext() {
 	mean := float64(p.Rate.TxTime(p.Size))
 	d := units.Time(p.rng.Exp(mean))
-	p.Sim.After(d, func() {
-		if p.Until > 0 && p.Sim.Now() >= p.Until {
-			return
-		}
-		pkt := &packet.Packet{
-			ID: NewPacketID(), Flow: p.Flow, Size: p.Size,
-			DSCP: p.DSCP, SentAt: p.Sim.Now(), FrameSeq: -1,
-		}
-		p.Sent++
-		p.Next.Handle(pkt)
-		p.scheduleNext()
-	})
+	p.Sim.AfterTimer(d, (*poissonTimer)(p))
+}
+
+func (p *Poisson) arrive() {
+	if p.Until > 0 && p.Sim.Now() >= p.Until {
+		return
+	}
+	pkt := p.Pool.Get()
+	pkt.ID, pkt.Flow, pkt.Size = NewPacketID(), p.Flow, p.Size
+	pkt.DSCP, pkt.SentAt, pkt.FrameSeq = p.DSCP, p.Sim.Now(), -1
+	p.Sent++
+	p.Next.Handle(pkt)
+	p.scheduleNext()
 }
 
 // OnOff alternates exponentially distributed ON periods, during which
@@ -112,12 +130,26 @@ type OnOff struct {
 	Flow     packet.FlowID
 	DSCP     packet.DSCP
 	Next     packet.Handler
+	Pool     *packet.Pool
 	Until    units.Time
 
 	rng   *sim.RNG
 	onEnd units.Time
 	Sent  int
 }
+
+// onOffStartTimer begins an ON period; onOffEmitTimer sends the next
+// packet within it. Both are pointer conversions of the source.
+type (
+	onOffStartTimer OnOff
+	onOffEmitTimer  OnOff
+)
+
+// Fire begins an ON period.
+func (o *onOffStartTimer) Fire(units.Time) { (*OnOff)(o).beginOn() }
+
+// Fire emits the next packet of the ON period.
+func (o *onOffEmitTimer) Fire(units.Time) { (*OnOff)(o).emit() }
 
 // Start begins with an OFF period so sources desynchronize.
 func (o *OnOff) Start() {
@@ -130,14 +162,16 @@ func (o *OnOff) Start() {
 
 func (o *OnOff) scheduleOn() {
 	off := units.Time(o.rng.Pareto(1.5, float64(o.MeanOff)/3))
-	o.Sim.After(off, func() {
-		if o.Until > 0 && o.Sim.Now() >= o.Until {
-			return
-		}
-		on := units.Time(o.rng.Exp(float64(o.MeanOn)))
-		o.onEnd = o.Sim.Now() + on
-		o.emit()
-	})
+	o.Sim.AfterTimer(off, (*onOffStartTimer)(o))
+}
+
+func (o *OnOff) beginOn() {
+	if o.Until > 0 && o.Sim.Now() >= o.Until {
+		return
+	}
+	on := units.Time(o.rng.Exp(float64(o.MeanOn)))
+	o.onEnd = o.Sim.Now() + on
+	o.emit()
 }
 
 func (o *OnOff) emit() {
@@ -145,11 +179,10 @@ func (o *OnOff) emit() {
 		o.scheduleOn()
 		return
 	}
-	p := &packet.Packet{
-		ID: NewPacketID(), Flow: o.Flow, Size: o.Size,
-		DSCP: o.DSCP, SentAt: o.Sim.Now(), FrameSeq: -1,
-	}
+	p := o.Pool.Get()
+	p.ID, p.Flow, p.Size = NewPacketID(), o.Flow, o.Size
+	p.DSCP, p.SentAt, p.FrameSeq = o.DSCP, o.Sim.Now(), -1
 	o.Sent++
 	o.Next.Handle(p)
-	o.Sim.After(o.PeakRate.TxTime(o.Size), o.emit)
+	o.Sim.AfterTimer(o.PeakRate.TxTime(o.Size), (*onOffEmitTimer)(o))
 }
