@@ -11,12 +11,17 @@ import (
 
 	"repro/internal/link"
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
+// TestLinkHotPathAllocationBudget pins the tracing-disabled contract:
+// with every Tap nil (the default), the link+queue hot path allocates
+// nothing — the per-event cost of the disabled tracing subsystem is a
+// pointer comparison, not an allocation.
 func TestLinkHotPathAllocationBudget(t *testing.T) {
 	s := sim.New(1)
 	var sink packet.Sink
@@ -36,6 +41,36 @@ func TestLinkHotPathAllocationBudget(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("link+queue hot path allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestLinkHotPathTracedAllocationBudget pins the tracing-enabled
+// budget: with a ring Recorder attached the same path must stay at
+// ≤ 1 amortized allocation per simulator event — and in fact stays at
+// 0, because Emit writes into storage preallocated at construction.
+func TestLinkHotPathTracedAllocationBudget(t *testing.T) {
+	s := sim.New(1)
+	rec := ptrace.NewRecorder(ptrace.Config{Capacity: 4096})
+	rec.SetClock(s)
+	var sink packet.Sink
+	l := link.New(s, 100*units.Mbps, units.Millisecond, queue.NewEFPriority(0, 0), &sink)
+	l.Tap, l.Hop = rec, rec.Hop("link")
+	var p packet.Packet
+	p.Size = 1500
+	p.DSCP = packet.EF
+	for i := 0; i < 200; i++ {
+		l.Handle(&p)
+		s.Run()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		l.Handle(&p)
+		s.Run() // two simulator events plus three trace emissions
+	})
+	if allocs > 1 {
+		t.Errorf("traced link+queue hot path allocates %.2f/op, want <= 1 amortized (expect 0)", allocs)
+	}
+	if rec.Seen() == 0 {
+		t.Fatal("recorder saw nothing — tap not wired")
 	}
 }
 

@@ -9,6 +9,14 @@
 //	dsbench -parallel 8               # worker-pool size (0 = all cores)
 //	dsbench -scale 4                  # thin token sweeps for a quick pass
 //	dsbench -json BENCH.json          # machine-readable scenario results
+//	dsbench -scenario tandem -trace traces/   # dump per-point packet traces
+//
+// With -trace DIR every scenario point writes a bounded packet-level
+// trace (<scenario>-<point>.ptrace) that cmd/dstrace summarizes.
+// Tracing is pure observation: figure output is byte-identical with
+// and without it. -trace-cap/-trace-head/-trace-sample bound each
+// capture; -trace-verdicts restricts it to conditioner verdicts,
+// drops and deliveries so the bound covers the whole run.
 //
 // Figure scenarios come from the experiment scenario registry and are
 // executed on the deterministic runner pool: -parallel changes only
@@ -27,6 +35,8 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/video"
 )
 
@@ -51,6 +61,13 @@ var jsonPath string
 
 // jsonRecords collects one record per scenario artifact that ran.
 var jsonRecords []scenarioRecord
+
+// traceDir and traceCfg are set by the -trace* flags; when traceDir is
+// non-empty every scenario artifact dumps per-point packet traces.
+var (
+	traceDir string
+	traceCfg ptrace.Config
+)
 
 type jsonPoint struct {
 	TokenRateBps float64 `json:"token_rate_bps"`
@@ -147,8 +164,12 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 		if jsonPath != "" {
 			runtime.ReadMemStats(&msBefore)
 		}
+		var tr *experiment.TraceRequest
+		if traceDir != "" {
+			tr = &experiment.TraceRequest{Dir: traceDir, Config: traceCfg}
+		}
 		start := time.Now()
-		fig := experiment.RunScenario(sc, parallelism)
+		fig := experiment.RunScenarioTrace(sc, parallelism, tr)
 		wall := time.Since(start)
 		if jsonPath != "" {
 			var msAfter runtime.MemStats
@@ -156,7 +177,11 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 			jsonRecords = append(jsonRecords,
 				makeRecord(sc.Name(), fig, wall, scale, msAfter.Mallocs-msBefore.Mallocs))
 		}
-		return render(fig)
+		out := render(fig)
+		if tr != nil {
+			out += fmt.Sprintf("\n[%d packet traces written to %s]\n", len(tr.Files()), traceDir)
+		}
+		return out
 	}}
 }
 
@@ -239,10 +264,25 @@ func main() {
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	jsonFlag := flag.String("json", "", "write per-scenario results as JSON to this file (\"-\" = stdout)")
+	trace := flag.String("trace", "", "write per-point packet traces (.ptrace) into this directory")
+	traceCap := flag.Int("trace-cap", 1<<17, "max events retained per trace")
+	traceHead := flag.Int("trace-head", 4096, "events pinned from the start of each run")
+	traceSample := flag.Int("trace-sample", 1, "keep 1 event in N after the head fills")
+	traceVerdicts := flag.Bool("trace-verdicts", false,
+		"capture only conditioner verdicts, drops, deliveries and TCP events")
+	traceFlow := flag.Int("trace-flow", 0, "capture only this flow id (0 = every flow)")
 	flag.Parse()
 	plotMode = *plot
 	parallelism = *parallel
 	jsonPath = *jsonFlag
+	traceDir = *trace
+	traceCfg = ptrace.Config{Capacity: *traceCap, Head: *traceHead, Sample: *traceSample}
+	if *traceVerdicts {
+		traceCfg.Kinds = ptrace.VerdictKinds()
+	}
+	if *traceFlow > 0 {
+		traceCfg.Flows = []packet.FlowID{packet.FlowID(*traceFlow)}
+	}
 
 	all := artifacts()
 	if *list {

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
-	"repro/internal/packet"
 )
 
 func TestArtifactRegistry(t *testing.T) {
@@ -87,7 +86,7 @@ func (fakeScenario) Name() string     { return "fake" }
 func (fakeScenario) Describe() string { return "fake scenario" }
 func (fakeScenario) Jobs() []experiment.Job {
 	return []experiment.Job{
-		func(*packet.Pool) experiment.Point {
+		func(*experiment.Ctx) experiment.Point {
 			return experiment.Point{
 				TokenRate: 1.5e6, Depth: 3000, Label: "N=2",
 				Evaluation: experiment.Evaluation{FrameLoss: 0.25, Quality: 0.5, PacketLoss: 0.1},

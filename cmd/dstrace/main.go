@@ -1,0 +1,91 @@
+// Command dstrace summarizes a packet-level trace produced by
+// `dsbench -trace` (or any ptrace.Data writer): per-hop forwarding
+// and drop breakdown, residence-delay percentiles, conditioner
+// verdict counts and timeline, and per-flow one-way latency. With
+// -frames it joins the packet trace against the client's frame trace
+// and attributes each lost video frame to the hop that dropped its
+// fragments — the "why did this point score what it did" question the
+// figure tables cannot answer.
+//
+// Examples:
+//
+//	dsbench -scenario tandem -trace traces/ -trace-verdicts
+//	dstrace -in traces/tandem-2border-tok1100000-B3000-s42.ptrace
+//	dstrace -in run.ptrace -bucket 500ms
+//	dstrace -in run.ptrace -frames run.trace -top 20
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/ptrace"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the command logic
+// is testable in-process (the same pattern dsbench, dsstream and
+// vqmtool use). It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dstrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "packet trace file produced by dsbench -trace (required)")
+	frames := fs.String("frames", "", "frame trace (dsstream -trace format) to attribute losses against")
+	bucket := fs.Duration("bucket", time.Second, "verdict-timeline bucket width")
+	top := fs.Int("top", 10, "max lost frames listed individually (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "dstrace: -in is required")
+		return 2
+	}
+	if *bucket <= 0 {
+		fmt.Fprintln(stderr, "dstrace: -bucket must be positive")
+		return 2
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	d, err := ptrace.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "trace: %s (%d hops)\n", *in, len(d.Hops))
+	fmt.Fprint(stdout, ptrace.Analyze(d, units.FromDuration(*bucket)).Format())
+
+	if *frames != "" {
+		ff, err := os.Open(*frames)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		ft, err := trace.Read(ff)
+		ff.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nframe-loss attribution against %s:\n", *frames)
+		fmt.Fprint(stdout, ptrace.AttributeFrameLoss(d, ft).Format(*top))
+	}
+	return 0
+}

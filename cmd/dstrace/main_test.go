@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/ptrace"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	code, _, errOut := runCapture(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-in is required") {
+		t.Errorf("stderr %q lacks the usage hint", errOut)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code, _, _ := runCapture(t, "-nope"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-in", "x.ptrace", "-bucket", "-1s"); code != 2 {
+		t.Errorf("negative bucket: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-h"); code != 0 {
+		t.Errorf("-h: exit non-zero")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	code, _, errOut := runCapture(t, "-in", filepath.Join(t.TempDir(), "absent.ptrace"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if errOut == "" {
+		t.Error("no error reported")
+	}
+}
+
+func TestRunRejectsNonTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.ptrace")
+	if err := os.WriteFile(path, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCapture(t, "-in", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "ptrace") {
+		t.Errorf("stderr %q does not identify the format error", errOut)
+	}
+}
+
+// traceTandem runs one traced tandem simulation and writes both the
+// packet trace and the client frame trace to dir.
+func traceTandem(t *testing.T, dir string) (ptracePath, framePath string) {
+	t.Helper()
+	rec := ptrace.NewRecorder(ptrace.Config{
+		Capacity: 1 << 17, Kinds: ptrace.VerdictKinds(),
+		Flows: []packet.FlowID{topology.VideoFlow},
+	})
+	tn := topology.BuildTandem(topology.TandemConfig{
+		Seed: 42, Enc: video.CachedCBR(video.Lost(), 1.0e6),
+		TokenRate: 1100 * units.Kbps, Depth: 3000, SecondBorder: true,
+		Trace: rec,
+	})
+	tn.Run()
+
+	ptracePath = filepath.Join(dir, "run.ptrace")
+	f, err := os.Create(ptracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Data().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	framePath = filepath.Join(dir, "run.trace")
+	ff, err := os.Create(framePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Client.Trace().WriteTo(ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	return ptracePath, framePath
+}
+
+func TestRunSummarizesTandemTrace(t *testing.T) {
+	dir := t.TempDir()
+	pt, ft := traceTandem(t, dir)
+
+	code, out, errOut := runCapture(t, "-in", pt)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"per-hop:", "border1", "border2", "client",
+		"conditioner verdicts:", "verdict timeline:", "per-flow one-way delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Join against the frame trace: losses must be attributed, and
+	// with two tight borders at least one frame kill lands on one.
+	code, out, errOut = runCapture(t, "-in", pt, "-frames", ft, "-top", "5")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "frame-loss attribution") ||
+		!strings.Contains(out, "frame kills by hop:") {
+		t.Errorf("attribution section missing:\n%s", out)
+	}
+	if !strings.Contains(out, "border") {
+		t.Errorf("no border blamed for any frame:\n%s", out)
+	}
+}

@@ -20,7 +20,22 @@
 // executed on a deterministic worker pool (runner) that keeps output
 // byte-identical at every parallelism level. Beyond the paper's
 // figures, the registry carries scaling scenarios (N competing flows,
-// bottleneck-scheduler comparison) built on the topology builder.
+// bottleneck-scheduler comparison, tandem policed borders) built on
+// the topology builder.
+//
+// Below the frame layer, the packet tracing subsystem (ptrace) makes
+// the datapath observable: every component carries a nil-by-default
+// Tap emitting compact value-type events — link enqueue/tx/deliver,
+// queue and AQM drops, policer and marker verdicts, shaper releases,
+// client deliveries with one-way delay, TCP send/ACK/RTO — into a
+// bounded per-run Recorder (ring + head pinning + sampling + kind and
+// flow filters). Disabled tracing is a pointer comparison per tap
+// point and the hot paths keep their zero-allocation budget; enabled
+// tracing writes into preallocated storage. Traces export as
+// versioned JSONL ("dsbench -trace DIR"), and cmd/dstrace summarizes
+// them offline: per-hop drop and residence-delay breakdown, policer
+// verdict timelines, per-flow latency percentiles, and frame-loss
+// attribution by joining against the client's frame trace.
 //
 // The per-packet hot paths are allocation-free: packet.Handler.Handle
 // takes ownership of its packet ("forward it, hold it, or terminate
@@ -31,9 +46,10 @@
 // and generation-checked event Handles).
 //
 // Entry points: cmd/dsbench regenerates all artifacts, cmd/dsstream
-// runs one experiment, cmd/vqmtool scores stored traces, and
-// examples/ holds runnable walkthroughs. bench_test.go in this
-// directory carries one benchmark per paper artifact.
+// runs one experiment, cmd/vqmtool scores stored frame traces,
+// cmd/dstrace analyzes packet traces, and examples/ holds runnable
+// walkthroughs. bench_test.go in this directory carries one benchmark
+// per paper artifact.
 //
 // See README.md for the repository layout, the scenario registry, and
 // the verification commands.

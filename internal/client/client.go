@@ -8,6 +8,7 @@ package client
 
 import (
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -41,6 +42,11 @@ type UDP struct {
 	// the terminal owner on the forward path and retains nothing but
 	// the frame trace (values, never packet pointers).
 	Pool *packet.Pool
+
+	// Tap, when set, receives a Deliver event per packet with the
+	// one-way delay since the sender stamped it.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
 
 	base    units.Time
 	started bool
@@ -94,6 +100,13 @@ func (c *UDP) Handle(p *packet.Packet) {
 	}
 	c.Packets++
 	c.PacketsBytes += int64(p.Size)
+	if c.Tap != nil {
+		c.Tap.Emit(ptrace.Event{
+			Kind: ptrace.Deliver, Hop: c.Hop, Flow: p.Flow, PktID: p.ID,
+			Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+			Delay: now - p.SentAt,
+		})
+	}
 	seq, fragIndex, fragCount := p.FrameSeq, p.FragIndex, p.FragCount
 	c.Pool.Put(p)
 	if seq < 0 || c.emitted[seq] {

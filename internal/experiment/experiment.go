@@ -164,8 +164,8 @@ func (spec QBoneSpec) Jobs() []Job {
 	for _, depth := range spec.Depths {
 		for _, tok := range spec.Tokens {
 			depth, tok := depth, tok
-			jobs = append(jobs, func(pool *packet.Pool) Point {
-				return RunQBonePointAvgArena(pool, enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs)
+			jobs = append(jobs, func(ctx *Ctx) Point {
+				return runQBonePointAvg(ctx, enc, enc, tok, depth, spec.Seed, spec.CrossLoad, runs)
 			})
 		}
 	}
@@ -201,12 +201,43 @@ func RunQBonePointAvg(enc, ref *video.Encoding, tok units.BitRate, depth units.B
 // RunQBonePointAvgArena is RunQBonePointAvg on a caller-owned packet
 // arena (the runner worker's pool).
 func RunQBonePointAvgArena(pool *packet.Pool, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
+	return runQBonePointAvg(&Ctx{Pool: pool}, enc, ref, tok, depth, seed, crossLoad, runs)
+}
+
+// runQBonePointAvg averages runQBonePoint over consecutive seeds (see
+// averagePoint for the averaging and tracing conventions).
+func runQBonePointAvg(ctx *Ctx, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
+	return runQBonePointAvgLabeled(ctx, "", enc, ref, tok, depth, seed, crossLoad, runs)
+}
+
+// runQBonePointAvgLabeled is runQBonePointAvg with a trace-file label
+// prefix for scenarios whose grids differ in something other than
+// (token, depth, seed).
+func runQBonePointAvgLabeled(ctx *Ctx, labelPrefix string, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64, runs int) Point {
+	return averagePoint(ctx, tok, depth, seed, runs, func(c *Ctx, s uint64) Point {
+		return runQBonePointLabeled(c, labelPrefix, enc, ref, tok, depth, s, crossLoad)
+	})
+}
+
+// averagePoint averages a single-run point function over consecutive
+// seeds. When the ctx requests tracing, only the first seed's run is
+// traced: one representative capture per grid point keeps -trace
+// output proportional to the figure, not to the seed averaging.
+// Events accumulates (the events/sec denominator counts every
+// simulation) and Calibration accumulates by the same convention the
+// serial harness used.
+func averagePoint(ctx *Ctx, tok units.BitRate, depth units.ByteSize, seed uint64, runs int, run func(c *Ctx, seed uint64) Point) Point {
 	if runs <= 1 {
-		return RunQBonePointArena(pool, enc, ref, tok, depth, seed, crossLoad)
+		return run(ctx, seed)
 	}
+	untraced := &Ctx{Pool: ctx.Pool}
 	var acc Point
 	for r := 0; r < runs; r++ {
-		p := RunQBonePointArena(pool, enc, ref, tok, depth, seed+uint64(r), crossLoad)
+		c := untraced
+		if r == 0 {
+			c = ctx
+		}
+		p := run(c, seed+uint64(r))
 		acc.FrameLoss += p.FrameLoss
 		acc.Quality += p.Quality
 		acc.PacketLoss += p.PacketLoss
@@ -228,12 +259,29 @@ func RunQBonePoint(enc, ref *video.Encoding, tok units.BitRate, depth units.Byte
 
 // RunQBonePointArena is RunQBonePoint on a caller-owned packet arena.
 func RunQBonePointArena(pool *packet.Pool, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
+	return runQBonePoint(&Ctx{Pool: pool}, enc, ref, tok, depth, seed, crossLoad)
+}
+
+// pointLabel names a grid point's trace file.
+func pointLabel(tok units.BitRate, depth units.ByteSize, seed uint64) string {
+	return fmt.Sprintf("tok%d-B%d-s%d", int64(tok), int64(depth), seed)
+}
+
+func runQBonePoint(ctx *Ctx, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
+	return runQBonePointLabeled(ctx, "", enc, ref, tok, depth, seed, crossLoad)
+}
+
+func runQBonePointLabeled(ctx *Ctx, labelPrefix string, enc, ref *video.Encoding, tok units.BitRate, depth units.ByteSize, seed uint64, crossLoad float64) Point {
+	rec := ctx.NewRecorder()
 	q := topology.BuildQBone(topology.QBoneConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth, CrossLoad: crossLoad,
-		Pool: pool,
+		Pool: ctx.Pool, Trace: rec,
 	})
 	q.Client.Tolerance = client.SliceTolerance
 	q.Run()
+	if err := ctx.SaveTrace(labelPrefix+pointLabel(tok, depth, seed), rec); err != nil {
+		panic(fmt.Sprintf("experiment: saving packet trace: %v", err))
+	}
 	ev := Evaluate(q.Client.Trace(), enc, ref)
 	if q.Policer != nil {
 		ev.PacketLoss = q.Policer.LossFraction()
@@ -277,9 +325,12 @@ func (spec RelativeSpec) Jobs() []Job {
 	for _, er := range spec.EncRates {
 		enc := video.CachedCBR(spec.Clip, er)
 		for _, tok := range spec.Tokens {
-			enc, tok := enc, tok
-			jobs = append(jobs, func(pool *packet.Pool) Point {
-				return RunQBonePointAvgArena(pool, enc, ref, tok, spec.Depth, spec.Seed, 0, runs)
+			enc, tok, er := enc, tok, er
+			jobs = append(jobs, func(ctx *Ctx) Point {
+				// The encoding rate disambiguates trace files: every
+				// series shares the same (token, depth, seed) grid.
+				return runQBonePointAvgLabeled(ctx, fmt.Sprintf("enc%d-", int64(er)),
+					enc, ref, tok, spec.Depth, spec.Seed, 0, runs)
 			})
 		}
 	}
@@ -335,8 +386,8 @@ func (spec LocalSpec) Jobs() []Job {
 	for _, depth := range spec.Depths {
 		for _, tok := range spec.Tokens {
 			depth, tok := depth, tok
-			jobs = append(jobs, func(pool *packet.Pool) Point {
-				return RunLocalPointArena(pool, enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed)
+			jobs = append(jobs, func(ctx *Ctx) Point {
+				return runLocalPoint(ctx, enc, tok, depth, spec.UseShaper, spec.UseTCP, spec.Seed)
 			})
 		}
 	}
@@ -370,9 +421,14 @@ func RunLocalPoint(enc *video.Encoding, tok units.BitRate, depth units.ByteSize,
 
 // RunLocalPointArena is RunLocalPoint on a caller-owned packet arena.
 func RunLocalPointArena(pool *packet.Pool, enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {
+	return runLocalPoint(&Ctx{Pool: pool}, enc, tok, depth, useShaper, useTCP, seed)
+}
+
+func runLocalPoint(ctx *Ctx, enc *video.Encoding, tok units.BitRate, depth units.ByteSize, useShaper, useTCP bool, seed uint64) Point {
+	rec := ctx.NewRecorder()
 	l := topology.BuildLocal(topology.LocalConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth,
-		UseTCP: useTCP, UseShaper: useShaper, Pool: pool,
+		UseTCP: useTCP, UseShaper: useShaper, Pool: ctx.Pool, Trace: rec,
 	})
 	if l.UDPClient != nil {
 		// WMT's reduced message sizes mean one lost packet damages a
@@ -380,6 +436,9 @@ func RunLocalPointArena(pool *packet.Pool, enc *video.Encoding, tok units.BitRat
 		l.UDPClient.Tolerance = client.SliceTolerance
 	}
 	l.Run()
+	if err := ctx.SaveTrace(pointLabel(tok, depth, seed), rec); err != nil {
+		panic(fmt.Sprintf("experiment: saving packet trace: %v", err))
+	}
 	ev := Evaluate(l.Trace(), enc, enc)
 	if l.Policer != nil {
 		ev.PacketLoss = l.Policer.LossFraction()

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -22,10 +21,16 @@ func init() {
 
 // evaluateMultiFlow runs one multi-flow simulation and folds the
 // per-flow traces into a Point: the embedded Evaluation is the
-// across-flow mean, Flows keeps each flow's own scores.
-func evaluateMultiFlow(cfg topology.MultiFlowConfig, enc *video.Encoding, label string, tok units.BitRate, depth units.ByteSize) Point {
+// across-flow mean, Flows keeps each flow's own scores. When the ctx
+// requests tracing, the run's packet trace is saved under the label.
+func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encoding, label, traceLabel string, tok units.BitRate, depth units.ByteSize) Point {
+	rec := ctx.NewRecorder()
+	cfg.Trace = rec
 	m := topology.BuildMultiFlow(cfg)
 	m.Run()
+	if err := ctx.SaveTrace(traceLabel, rec); err != nil {
+		panic(fmt.Sprintf("experiment: saving packet trace: %v", err))
+	}
 	pt := Point{TokenRate: tok, Depth: depth, Label: label}
 	for _, cl := range m.Clients {
 		ev := Evaluate(cl.Trace(), enc, enc)
@@ -75,13 +80,16 @@ type MultiFlowSpec struct {
 // NFlowSweepSpec is the registered N-flow scenario: 1 Mbps Lost
 // streams, each policed into EF at 1.3 Mbps, sharing a 6 Mbps strictly
 // prioritized bottleneck — the sweep crosses the point where the EF
-// aggregate overruns the link.
+// aggregate overruns the link. The grid was re-tuned for the pooled
+// post-PR3 core (~3.4× faster end to end): twice the N points of the
+// original sweep, extending well past the overrun knee, for the same
+// wall-clock budget the old grid cost on the slower engine.
 func NFlowSweepSpec() MultiFlowSpec {
 	return MultiFlowSpec{
 		Key: "nflow", ID: "Scaling A",
 		Title: "N Lost @ 1.0M flows through one 6 Mbps EF bottleneck",
 		Clip:  video.Lost(), EncRate: 1.0e6,
-		Ns:        []int{1, 2, 4, 6, 8},
+		Ns:        []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16},
 		TokenRate: 1.3e6, Depth: 4500,
 		BottleneckRate: 6e6, Sched: topology.PriorityBottleneck,
 		BELoad: 0.15, Seed: DefaultSeed,
@@ -100,13 +108,13 @@ func (spec MultiFlowSpec) Jobs() []Job {
 	var jobs []Job
 	for _, n := range spec.Ns {
 		n := n
-		jobs = append(jobs, func(pool *packet.Pool) Point {
-			return evaluateMultiFlow(topology.MultiFlowConfig{
+		jobs = append(jobs, func(ctx *Ctx) Point {
+			return evaluateMultiFlow(ctx, topology.MultiFlowConfig{
 				Seed: spec.Seed, Enc: enc, N: n,
 				TokenRate: spec.TokenRate, Depth: spec.Depth,
 				BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
-				BELoad: spec.BELoad, Pool: pool,
-			}, enc, fmt.Sprintf("N=%d", n), spec.TokenRate, spec.Depth)
+				BELoad: spec.BELoad, Pool: ctx.Pool,
+			}, enc, fmt.Sprintf("N=%d", n), fmt.Sprintf("N%d", n), spec.TokenRate, spec.Depth)
 		})
 	}
 	return jobs
@@ -164,7 +172,9 @@ type SchedCompareSpec struct {
 }
 
 // SchedCompareSpecDefault is the registered scheduler-comparison
-// scenario.
+// scenario. The load grid was re-tuned for the pooled post-PR3 core:
+// seven load points from light load to 2× overload instead of the
+// original three, resolving where each discipline's isolation breaks.
 func SchedCompareSpecDefault() SchedCompareSpec {
 	return SchedCompareSpec{
 		Key: "schedcomp", ID: "Scaling B",
@@ -173,7 +183,7 @@ func SchedCompareSpecDefault() SchedCompareSpec {
 		N:         3,
 		TokenRate: 1.3e6, Depth: 4500,
 		BottleneckRate: 6e6,
-		Loads:          []float64{0.5, 1.0, 1.5},
+		Loads:          []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0},
 		Seed:           DefaultSeed,
 	}
 }
@@ -192,13 +202,14 @@ func (spec SchedCompareSpec) Jobs() []Job {
 	for _, sched := range topology.BottleneckSchedulers() {
 		for _, load := range spec.Loads {
 			sched, load := sched, load
-			jobs = append(jobs, func(pool *packet.Pool) Point {
-				return evaluateMultiFlow(topology.MultiFlowConfig{
+			jobs = append(jobs, func(ctx *Ctx) Point {
+				return evaluateMultiFlow(ctx, topology.MultiFlowConfig{
 					Seed: spec.Seed, Enc: enc, N: spec.N,
 					TokenRate: spec.TokenRate, Depth: spec.Depth,
 					BottleneckRate: spec.BottleneckRate, Sched: sched,
-					AFLoad: load / 2, BELoad: load / 2, Pool: pool,
-				}, enc, fmt.Sprintf("load=%.2f", load), spec.TokenRate, spec.Depth)
+					AFLoad: load / 2, BELoad: load / 2, Pool: ctx.Pool,
+				}, enc, fmt.Sprintf("load=%.2f", load),
+					fmt.Sprintf("%s-load%.2f", sched, load), spec.TokenRate, spec.Depth)
 			})
 		}
 	}

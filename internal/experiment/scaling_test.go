@@ -107,11 +107,11 @@ func TestScalingScenariosRegistered(t *testing.T) {
 	}
 	// Scaled must thin interior points and keep endpoints.
 	nf := NFlowSweepSpec().Scaled(2).(MultiFlowSpec)
-	if len(nf.Ns) >= len(NFlowSweepSpec().Ns) || nf.Ns[len(nf.Ns)-1] != 8 {
+	if len(nf.Ns) >= len(NFlowSweepSpec().Ns) || nf.Ns[len(nf.Ns)-1] != 16 {
 		t.Errorf("nflow Scaled wrong: %v", nf.Ns)
 	}
 	sc := SchedCompareSpecDefault().Scaled(2).(SchedCompareSpec)
-	if sc.Loads[len(sc.Loads)-1] != 1.5 {
+	if sc.Loads[len(sc.Loads)-1] != 2.0 {
 		t.Errorf("schedcomp Scaled dropped the overload endpoint: %v", sc.Loads)
 	}
 }

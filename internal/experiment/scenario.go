@@ -2,10 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/runner"
 )
 
@@ -31,13 +35,97 @@ type Scenario interface {
 }
 
 // Job is one independent simulation: it runs a full (possibly
-// seed-averaged) experiment and reduces it to a Point. The pool is
-// the executing worker's packet arena — each runner worker owns one
-// and reuses it across consecutive jobs, so pools never cross
-// goroutines and steady-state jobs allocate no packets. Jobs must
-// build their simulation on the given pool (or ignore it and pay the
-// allocations).
-type Job func(pool *packet.Pool) Point
+// seed-averaged) experiment and reduces it to a Point. The Ctx is
+// owned by the executing worker: its Pool is the worker's packet
+// arena, reused across consecutive jobs so pools never cross
+// goroutines and steady-state jobs allocate no packets; its Trace is
+// the run-wide trace request (nil in the common untraced case). Jobs
+// must build their simulation on the given pool (or ignore it and pay
+// the allocations), and may save a bounded packet trace through the
+// Ctx when tracing is requested.
+type Job func(ctx *Ctx) Point
+
+// Ctx is what the runner hands each job.
+type Ctx struct {
+	Pool  *packet.Pool
+	Trace *TraceRequest
+}
+
+// NewRecorder returns a bounded packet-trace recorder per the run's
+// trace request, or nil when tracing is off — which is exactly the
+// nil Tap the topology layer interprets as "disabled".
+func (c *Ctx) NewRecorder() *ptrace.Recorder {
+	if c == nil || c.Trace == nil {
+		return nil
+	}
+	return ptrace.NewRecorder(c.Trace.Config)
+}
+
+// SaveTrace writes rec under the trace directory as
+// "<scenario>-<label>.ptrace". A nil recorder is a no-op, so call
+// sites need no tracing-enabled guard of their own.
+func (c *Ctx) SaveTrace(label string, rec *ptrace.Recorder) error {
+	if rec == nil || c == nil || c.Trace == nil {
+		return nil
+	}
+	return c.Trace.save(label, rec)
+}
+
+// TraceRequest asks a scenario run to dump per-point packet traces:
+// each traced job records into a bounded ptrace.Recorder and writes
+// one .ptrace file per point into Dir. The request is shared by every
+// worker; concurrent saves are safe because every grid point labels a
+// distinct file (jobs must include any extra grid dimension in the
+// label), and the shared file list is mutex-guarded.
+type TraceRequest struct {
+	Dir    string
+	Config ptrace.Config
+
+	scenario string
+	mu       sync.Mutex
+	files    []string
+}
+
+// Files lists the trace files written so far (base names).
+func (tr *TraceRequest) Files() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.files...)
+}
+
+// sanitizeLabel keeps file names shell-friendly.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func (tr *TraceRequest) save(label string, rec *ptrace.Recorder) error {
+	name := sanitizeLabel(tr.scenario + "-" + label + ".ptrace")
+	path := filepath.Join(tr.Dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := rec.Data().WriteTo(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	tr.mu.Lock()
+	tr.files = append(tr.files, name)
+	tr.mu.Unlock()
+	return nil
+}
 
 // Scalable is implemented by scenarios whose token sweep can be
 // thinned for quick passes (dsbench -scale).
@@ -53,12 +141,26 @@ type Scalable interface {
 // figure: the serial and parallel cases differ only in worker count,
 // never in result.
 func RunScenario(s Scenario, parallel int) *Figure {
+	return RunScenarioTrace(s, parallel, nil)
+}
+
+// RunScenarioTrace is RunScenario with an optional per-point packet
+// trace request (dsbench -trace). Tracing is pure observation: the
+// assembled figure is byte-identical with tr nil or set.
+func RunScenarioTrace(s Scenario, parallel int, tr *TraceRequest) *Figure {
+	if tr != nil {
+		tr.scenario = s.Name()
+		if err := os.MkdirAll(tr.Dir, 0o755); err != nil {
+			panic(fmt.Sprintf("experiment: trace dir: %v", err))
+		}
+	}
 	jobs := s.Jobs()
-	fns := make([]func(*packet.Pool) Point, len(jobs))
+	fns := make([]func(*Ctx) Point, len(jobs))
 	for i, j := range jobs {
 		fns[i] = j
 	}
-	return s.Assemble(runner.MapArena(parallel, packet.NewPool, fns))
+	newCtx := func() *Ctx { return &Ctx{Pool: packet.NewPool(), Trace: tr} }
+	return s.Assemble(runner.MapArena(parallel, newCtx, fns))
 }
 
 // The scenario registry. Scenarios register at init time (figures.go);

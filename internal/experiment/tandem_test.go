@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ptrace"
+	"repro/internal/units"
+)
+
+func reducedTandem() TandemSpec {
+	spec := TandemSweepSpec()
+	spec.Tokens = []units.BitRate{1100 * units.Kbps, 1400 * units.Kbps}
+	spec.Runs = 1
+	return spec
+}
+
+func TestTandemScenarioShape(t *testing.T) {
+	t.Parallel()
+	fig := RunScenario(reducedTandem(), 0)
+	if len(fig.Series) != 2 || fig.Series[0].Label != "1border" || fig.Series[1].Label != "2border" {
+		t.Fatalf("series = %+v", fig.Series)
+	}
+	for si, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %d has %d points, want 2", si, len(s.Points))
+		}
+	}
+	// Re-policing the re-clocked aggregate can only hurt: at every
+	// token rate the two-border path loses at least as many packets
+	// as the single-border baseline.
+	for i := range fig.Series[0].Points {
+		one, two := fig.Series[0].Points[i], fig.Series[1].Points[i]
+		if two.PacketLoss+1e-9 < one.PacketLoss {
+			t.Errorf("token %v: 2-border packet loss %.4f below 1-border %.4f",
+				one.TokenRate, two.PacketLoss, one.PacketLoss)
+		}
+	}
+}
+
+func TestTandemScenarioRegisteredAndScalable(t *testing.T) {
+	s := Lookup("tandem")
+	if s == nil {
+		t.Fatal("tandem not registered")
+	}
+	if _, ok := s.(Scalable); !ok {
+		t.Fatal("tandem is not Scalable")
+	}
+	sc := TandemSweepSpec().Scaled(3).(TandemSpec)
+	full := TandemSweepSpec()
+	if len(sc.Tokens) >= len(full.Tokens) ||
+		sc.Tokens[len(sc.Tokens)-1] != full.Tokens[len(full.Tokens)-1] {
+		t.Errorf("Scaled grid wrong: %v", sc.Tokens)
+	}
+}
+
+// TestTandemTraceFiles drives the dsbench -trace plumbing end to end:
+// a traced scenario run writes one readable .ptrace file per grid
+// point, and the figure is byte-identical to the untraced run.
+func TestTandemTraceFiles(t *testing.T) {
+	t.Parallel()
+	spec := reducedTandem()
+	dir := t.TempDir()
+	tr := &TraceRequest{Dir: dir, Config: ptrace.Config{
+		Capacity: 1 << 15, Kinds: ptrace.VerdictKinds(),
+	}}
+	traced := RunScenarioTrace(spec, 2, tr)
+	plain := RunScenario(spec, 0)
+	if traced.Format() != plain.Format() {
+		t.Errorf("tracing changed the figure:\n%s\nvs\n%s", traced.Format(), plain.Format())
+	}
+	files := tr.Files()
+	if len(files) != 4 { // 2 variants × 2 tokens
+		t.Fatalf("wrote %d trace files, want 4: %v", len(files), files)
+	}
+	for _, name := range files {
+		if !strings.HasPrefix(name, "tandem-") {
+			t.Errorf("trace file %q not scenario-prefixed", name)
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ptrace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.Events) == 0 || d.Seen == 0 {
+			t.Errorf("%s: empty capture", name)
+		}
+		if len(d.Events) > 1<<15 {
+			t.Errorf("%s: %d events exceed the configured bound", name, len(d.Events))
+		}
+	}
+}

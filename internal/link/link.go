@@ -7,6 +7,7 @@ package link
 
 import (
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -25,6 +26,12 @@ type Link struct {
 	// Pool, when set, receives packets the scheduler rejects at
 	// enqueue (the link owns drops at its port).
 	Pool *packet.Pool
+
+	// Tap, when set, receives enqueue/queue-drop/tx/deliver events
+	// under the Hop id. A nil Tap costs one pointer comparison per
+	// tap point — the hot path stays allocation-free.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
 
 	busy bool
 	cur  *packet.Packet // packet on the wire
@@ -82,11 +89,28 @@ func (l *Link) bind() {
 func (l *Link) Handle(p *packet.Packet) {
 	p.EnqueuedAt = l.Sim.Now()
 	if !l.Sched.Enqueue(p) {
+		if l.Tap != nil {
+			l.Tap.Emit(l.event(ptrace.QueueDrop, p))
+		}
 		l.Pool.Put(p) // queue drop, counted by the scheduler
 		return
 	}
+	if l.Tap != nil {
+		l.Tap.Emit(l.event(ptrace.LinkEnqueue, p))
+	}
 	if !l.busy {
 		l.transmitNext()
+	}
+}
+
+// event copies the fields a trace record needs out of p — the packet
+// pointer is never retained (it may be recycled the moment ownership
+// moves on).
+func (l *Link) event(k ptrace.Kind, p *packet.Packet) ptrace.Event {
+	return ptrace.Event{
+		Kind: k, Hop: l.Hop, Flow: p.Flow, PktID: p.ID,
+		Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+		QLen: int32(l.Sched.Len()),
 	}
 }
 
@@ -114,10 +138,18 @@ func (l *Link) finishTx() {
 	l.cur = nil
 	l.Sent++
 	l.SentBytes += int64(p.Size)
+	if l.Tap != nil {
+		e := l.event(ptrace.LinkTx, p)
+		e.Delay = l.Sim.Now() - p.EnqueuedAt // queueing + serialization here
+		l.Tap.Emit(e)
+	}
 	if l.Delay > 0 {
 		l.inflight.Push(p)
 		l.Sim.AfterTimer(l.Delay, l.deliver)
 	} else {
+		if l.Tap != nil {
+			l.Tap.Emit(l.event(ptrace.LinkDeliver, p))
+		}
 		l.Next.Handle(p)
 	}
 	l.transmitNext()
@@ -125,7 +157,11 @@ func (l *Link) finishTx() {
 
 // deliverHead completes propagation of the oldest in-flight packet.
 func (l *Link) deliverHead() {
-	l.Next.Handle(l.inflight.Pop())
+	p := l.inflight.Pop()
+	if l.Tap != nil {
+		l.Tap.Emit(l.event(ptrace.LinkDeliver, p))
+	}
+	l.Next.Handle(p)
 }
 
 // Utilization reports the fraction of elapsed time spent transmitting.
@@ -233,6 +269,10 @@ type Loss struct {
 	Next packet.Handler
 	Pool *packet.Pool // terminal release target for dropped packets
 
+	// Tap, when set, receives a Loss event per dropped packet.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
+
 	Dropped int
 }
 
@@ -240,6 +280,12 @@ type Loss struct {
 func (l *Loss) Handle(p *packet.Packet) {
 	if l.P > 0 && l.Sim.RNG().Float64() < l.P {
 		l.Dropped++
+		if l.Tap != nil {
+			l.Tap.Emit(ptrace.Event{
+				Kind: ptrace.Loss, Hop: l.Hop, Flow: p.Flow, PktID: p.ID,
+				Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+			})
+		}
 		l.Pool.Put(p)
 		return
 	}

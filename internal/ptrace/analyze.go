@@ -1,0 +1,350 @@
+package ptrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Quantiles summarizes a delay sample set.
+type Quantiles struct {
+	N                  int
+	P50, P90, P99, Max units.Time
+}
+
+func quantiles(samples []units.Time) Quantiles {
+	q := Quantiles{N: len(samples)}
+	if len(samples) == 0 {
+		return q
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) units.Time {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	q.P50, q.P90, q.P99 = at(0.50), at(0.90), at(0.99)
+	q.Max = samples[len(samples)-1]
+	return q
+}
+
+func ms(t units.Time) float64 { return float64(t) / float64(units.Millisecond) }
+
+// HopStats aggregates one hop's events.
+type HopStats struct {
+	Name   string
+	Counts [numKinds]int
+	// Drops is the terminal drops at this hop (Kind.IsDrop kinds).
+	Drops int
+	// MaxQLen is the deepest queue observed at enqueue.
+	MaxQLen int32
+	// Residence summarizes LinkTx delays: queueing + serialization at
+	// this hop.
+	Residence Quantiles
+}
+
+// FlowStats aggregates client deliveries of one flow.
+type FlowStats struct {
+	Flow      packet.FlowID
+	Delivered int
+	Drops     int // drops of this flow anywhere on the path
+	// OneWay summarizes the end-to-end delay of Deliver events.
+	OneWay Quantiles
+}
+
+// VerdictBucket is one time bucket of a hop's policer/marker verdicts.
+type VerdictBucket struct {
+	Hop                 string
+	Start               units.Time
+	Pass, Demote, Drops int
+}
+
+// Summary is the offline digest dstrace prints.
+type Summary struct {
+	Seen     uint64
+	Retained int
+	Span     units.Time // time covered by the retained window
+	Hops     []HopStats
+	Flows    []FlowStats
+	// Timeline buckets policer/marker verdicts per hop over time.
+	Timeline []VerdictBucket
+}
+
+// Analyze digests a capture. bucket sets the verdict-timeline
+// granularity (<= 0 means 1 s).
+func Analyze(d *Data, bucket units.Time) *Summary {
+	if bucket <= 0 {
+		bucket = units.Second
+	}
+	s := &Summary{Seen: d.Seen, Retained: len(d.Events)}
+	if len(d.Events) > 0 {
+		s.Span = d.Events[len(d.Events)-1].T - d.Events[0].T
+	}
+
+	nh := len(d.Hops)
+	hops := make([]HopStats, nh)
+	for i := range hops {
+		hops[i].Name = d.Hops[i]
+	}
+	residence := make([][]units.Time, nh)
+	flowDelay := map[packet.FlowID][]units.Time{}
+	flowDrops := map[packet.FlowID]int{}
+	flowDelivered := map[packet.FlowID]int{}
+	type bucketKey struct {
+		hop HopID
+		t   int64
+	}
+	timeline := map[bucketKey]*VerdictBucket{}
+
+	for _, e := range d.Events {
+		if int(e.Hop) >= nh || e.Kind >= numKinds {
+			continue // corrupt hop id or kind; skip rather than crash the tool
+		}
+		h := &hops[e.Hop]
+		h.Counts[e.Kind]++
+		if e.Kind.IsDrop() {
+			h.Drops++
+			flowDrops[e.Flow]++
+		}
+		switch e.Kind {
+		case LinkEnqueue:
+			if e.QLen > h.MaxQLen {
+				h.MaxQLen = e.QLen
+			}
+		case LinkTx:
+			residence[e.Hop] = append(residence[e.Hop], e.Delay)
+		case Deliver:
+			flowDelivered[e.Flow]++
+			flowDelay[e.Flow] = append(flowDelay[e.Flow], e.Delay)
+		case PolicerPass, PolicerDemote, PolicerDrop, ShaperRelease, ShaperDrop:
+			k := bucketKey{e.Hop, int64(e.T / bucket)}
+			b := timeline[k]
+			if b == nil {
+				b = &VerdictBucket{Hop: d.HopName(e.Hop), Start: units.Time(k.t) * bucket}
+				timeline[k] = b
+			}
+			switch e.Kind {
+			case PolicerPass, ShaperRelease:
+				b.Pass++
+			case PolicerDemote:
+				b.Demote++
+			default:
+				b.Drops++
+			}
+		}
+	}
+
+	for i := range hops {
+		hops[i].Residence = quantiles(residence[i])
+		// Only report hops that saw anything.
+		if hopTotal(&hops[i]) > 0 {
+			s.Hops = append(s.Hops, hops[i])
+		}
+	}
+	var flows []packet.FlowID
+	for f := range flowDelivered {
+		flows = append(flows, f)
+	}
+	for f := range flowDrops {
+		if _, ok := flowDelivered[f]; !ok {
+			flows = append(flows, f)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
+		s.Flows = append(s.Flows, FlowStats{
+			Flow: f, Delivered: flowDelivered[f], Drops: flowDrops[f],
+			OneWay: quantiles(flowDelay[f]),
+		})
+	}
+	for _, b := range timeline {
+		s.Timeline = append(s.Timeline, *b)
+	}
+	sort.Slice(s.Timeline, func(i, j int) bool {
+		if s.Timeline[i].Hop != s.Timeline[j].Hop {
+			return s.Timeline[i].Hop < s.Timeline[j].Hop
+		}
+		return s.Timeline[i].Start < s.Timeline[j].Start
+	})
+	return s
+}
+
+func hopTotal(h *HopStats) int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Format renders the summary as aligned text tables.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d emitted, %d retained", s.Seen, s.Retained)
+	if s.Seen > 0 && s.Retained > 0 {
+		fmt.Fprintf(&b, " (%.1f%%), window %.1f ms",
+			100*float64(s.Retained)/float64(s.Seen), ms(s.Span))
+	}
+	b.WriteString("\n\nper-hop:\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %7s %6s %6s %6s %6s %5s %9s %9s\n",
+		"hop", "enq", "tx", "deliver", "drops", "qdrop", "pol-", "shp-", "loss", "maxQ", "p50ms", "p99ms")
+	for _, h := range s.Hops {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %7d %6d %6d %6d %6d %5d %9.3f %9.3f\n",
+			h.Name, h.Counts[LinkEnqueue], h.Counts[LinkTx],
+			h.Counts[LinkDeliver]+h.Counts[Deliver], h.Drops,
+			h.Counts[QueueDrop], h.Counts[PolicerDrop], h.Counts[ShaperDrop],
+			h.Counts[Loss], h.MaxQLen,
+			ms(h.Residence.P50), ms(h.Residence.P99))
+	}
+	if conditioned(s.Hops) {
+		b.WriteString("\nconditioner verdicts:\n")
+		fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %8s\n",
+			"hop", "pass", "demote", "drop", "release", "red")
+		for _, h := range s.Hops {
+			total := h.Counts[PolicerPass] + h.Counts[PolicerDemote] + h.Counts[PolicerDrop] +
+				h.Counts[ShaperRelease] + h.Counts[ShaperDrop] + h.Counts[REDEarly]
+			if total == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %8d %8d %8d %8d %8d\n",
+				h.Name, h.Counts[PolicerPass], h.Counts[PolicerDemote],
+				h.Counts[PolicerDrop]+h.Counts[ShaperDrop],
+				h.Counts[ShaperRelease], h.Counts[REDEarly])
+		}
+	}
+	if len(s.Flows) > 0 {
+		b.WriteString("\nper-flow one-way delay (client deliveries):\n")
+		fmt.Fprintf(&b, "%-6s %8s %7s %9s %9s %9s %9s\n",
+			"flow", "deliv", "drops", "p50ms", "p90ms", "p99ms", "maxms")
+		for _, f := range s.Flows {
+			fmt.Fprintf(&b, "%-6d %8d %7d %9.3f %9.3f %9.3f %9.3f\n",
+				f.Flow, f.Delivered, f.Drops,
+				ms(f.OneWay.P50), ms(f.OneWay.P90), ms(f.OneWay.P99), ms(f.OneWay.Max))
+		}
+	}
+	if len(s.Timeline) > 0 {
+		b.WriteString("\nverdict timeline:\n")
+		fmt.Fprintf(&b, "%-12s %9s %8s %8s %8s\n", "hop", "t0(s)", "pass", "demote", "drop")
+		for _, tb := range s.Timeline {
+			fmt.Fprintf(&b, "%-12s %9.1f %8d %8d %8d\n",
+				tb.Hop, float64(tb.Start)/float64(units.Second), tb.Pass, tb.Demote, tb.Drops)
+		}
+	}
+	return b.String()
+}
+
+func conditioned(hops []HopStats) bool {
+	for _, h := range hops {
+		if h.Counts[PolicerPass]+h.Counts[PolicerDemote]+h.Counts[PolicerDrop]+
+			h.Counts[ShaperRelease]+h.Counts[ShaperDrop]+h.Counts[REDEarly] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameLossCause attributes one lost clip frame to the hop that
+// dropped its fragments.
+type FrameLossCause struct {
+	FrameSeq int
+	Hop      string // hop with the most dropped fragments; "" if unknown
+	Frags    int    // dropped fragments seen for this frame
+}
+
+// Attribution is the join of a packet trace against a frame trace.
+type Attribution struct {
+	LostFrames   int
+	Attributed   []FrameLossCause
+	Unattributed int // lost frames with no drop evidence in the window
+	// ByHop counts frame kills per hop.
+	ByHop map[string]int
+}
+
+// AttributeFrameLoss joins the packet trace against the client's frame
+// trace: for every clip frame the client never produced, find the hop
+// whose drop events claimed that frame's fragments. Frames whose drops
+// fell outside the bounded capture window come back unattributed.
+func AttributeFrameLoss(d *Data, ft *trace.Trace) *Attribution {
+	received := make(map[int]bool, len(ft.Records))
+	for _, r := range ft.Records {
+		received[r.Seq] = true
+	}
+	// frame -> hop -> dropped fragment count
+	drops := map[int]map[HopID]int{}
+	for _, e := range d.Events {
+		if !e.Kind.IsDrop() || e.FrameSeq < 0 {
+			continue
+		}
+		m := drops[int(e.FrameSeq)]
+		if m == nil {
+			m = map[HopID]int{}
+			drops[int(e.FrameSeq)] = m
+		}
+		m[e.Hop]++
+	}
+	a := &Attribution{ByHop: map[string]int{}}
+	for seq := 0; seq < ft.ClipFrames; seq++ {
+		if received[seq] {
+			continue
+		}
+		a.LostFrames++
+		m := drops[seq]
+		if len(m) == 0 {
+			a.Unattributed++
+			continue
+		}
+		best, bestN, total := HopID(0), 0, 0
+		for hop, n := range m {
+			total += n
+			if n > bestN || (n == bestN && hop < best) {
+				best, bestN = hop, n
+			}
+		}
+		name := d.HopName(best)
+		a.Attributed = append(a.Attributed, FrameLossCause{FrameSeq: seq, Hop: name, Frags: total})
+		a.ByHop[name]++
+	}
+	sort.Slice(a.Attributed, func(i, j int) bool { return a.Attributed[i].FrameSeq < a.Attributed[j].FrameSeq })
+	return a
+}
+
+// Format renders the attribution; top bounds the per-frame listing
+// (<= 0 lists every lost frame).
+func (a *Attribution) Format(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lost frames: %d (%d attributed, %d outside the capture window)\n",
+		a.LostFrames, len(a.Attributed), a.Unattributed)
+	if len(a.ByHop) > 0 {
+		var hops []string
+		for h := range a.ByHop {
+			hops = append(hops, h)
+		}
+		sort.Slice(hops, func(i, j int) bool {
+			if a.ByHop[hops[i]] != a.ByHop[hops[j]] {
+				return a.ByHop[hops[i]] > a.ByHop[hops[j]]
+			}
+			return hops[i] < hops[j]
+		})
+		b.WriteString("frame kills by hop:\n")
+		for _, h := range hops {
+			fmt.Fprintf(&b, "  %-12s %d\n", h, a.ByHop[h])
+		}
+	}
+	n := len(a.Attributed)
+	if top > 0 && n > top {
+		n = top
+	}
+	if n > 0 {
+		b.WriteString("lost frames (frame -> killing hop, dropped frags):\n")
+		for _, c := range a.Attributed[:n] {
+			fmt.Fprintf(&b, "  frame %5d  %-12s %d\n", c.FrameSeq, c.Hop, c.Frags)
+		}
+		if n < len(a.Attributed) {
+			fmt.Fprintf(&b, "  ... %d more\n", len(a.Attributed)-n)
+		}
+	}
+	return b.String()
+}

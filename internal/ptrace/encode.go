@@ -1,0 +1,136 @@
+package ptrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// Version is the trace format version this package writes and reads.
+const Version = 1
+
+// Data is the exportable form of a capture: the hop name table plus
+// the retained events. It is what cmd/dstrace reads back.
+type Data struct {
+	Hops   []string
+	Seen   uint64 // total events emitted during the run
+	Events []Event
+}
+
+// HopName resolves an event's hop against the data's name table.
+func (d *Data) HopName(id HopID) string {
+	if int(id) < len(d.Hops) {
+		return d.Hops[id]
+	}
+	return fmt.Sprintf("hop#%d", id)
+}
+
+// header is the first JSONL line: everything but the events.
+type header struct {
+	Format  string   `json:"format"`
+	Version int      `json:"version"`
+	Seen    uint64   `json:"seen"`
+	Events  int      `json:"events"`
+	Hops    []string `json:"hops"`
+}
+
+// eventFields is the number of values per event line.
+const eventFields = 11
+
+// WriteTo emits the versioned JSONL encoding: one header object line,
+// then one compact JSON array per event —
+// [t, kind, flag, hop, flow, pkt, size, dscp, qlen, frame, delay].
+func (d *Data) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	hdr, err := json.Marshal(header{
+		Format: "ptrace", Version: Version,
+		Seen: d.Seen, Events: len(d.Events), Hops: d.Hops,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c, err := fmt.Fprintf(bw, "%s\n", hdr)
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range d.Events {
+		c, err := fmt.Fprintf(bw, "[%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d]\n",
+			int64(e.T), e.Kind, e.Flag, e.Hop, e.Flow, e.PktID,
+			e.Size, e.DSCP, e.QLen, e.FrameSeq, int64(e.Delay))
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses the JSONL encoding produced by WriteTo.
+func Read(r io.Reader) (*Data, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("ptrace: empty input")
+	}
+	var hdr header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("ptrace: bad header: %w", err)
+	}
+	if hdr.Format != "ptrace" {
+		return nil, fmt.Errorf("ptrace: not a packet trace (format %q)", hdr.Format)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("ptrace: unsupported version %d (want %d)", hdr.Version, Version)
+	}
+	// The header's event count is a size hint from untrusted input:
+	// use it for preallocation only within a sane bound.
+	hint := hdr.Events
+	if hint < 0 || hint > 1<<22 {
+		hint = 0
+	}
+	d := &Data{Hops: hdr.Hops, Seen: hdr.Seen, Events: make([]Event, 0, hint)}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var raw []json.Number
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			return nil, fmt.Errorf("ptrace: line %d: %w", line, err)
+		}
+		if len(raw) != eventFields {
+			return nil, fmt.Errorf("ptrace: line %d: %d fields, want %d", line, len(raw), eventFields)
+		}
+		f := make([]int64, eventFields)
+		var pkt uint64
+		for i, v := range raw {
+			var err error
+			if i == 5 { // PktID is the one unsigned 64-bit field
+				pkt, err = strconv.ParseUint(v.String(), 10, 64)
+			} else {
+				f[i], err = v.Int64()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("ptrace: line %d field %d: %w", line, i, err)
+			}
+		}
+		d.Events = append(d.Events, Event{
+			T: units.Time(f[0]), Kind: Kind(f[1]), Flag: uint8(f[2]),
+			Hop: HopID(f[3]), Flow: packet.FlowID(f[4]), PktID: pkt,
+			Size: int32(f[6]), DSCP: packet.DSCP(f[7]), QLen: int32(f[8]),
+			FrameSeq: int32(f[9]), Delay: units.Time(f[10]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

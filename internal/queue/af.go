@@ -1,6 +1,9 @@
 package queue
 
-import "repro/internal/packet"
+import (
+	"repro/internal/packet"
+	"repro/internal/ptrace"
+)
 
 // AFScheduler is the per-hop behaviour for an Assured Forwarding
 // class: AF-marked packets share one RIO queue whose drop profile
@@ -20,6 +23,9 @@ func NewAFScheduler(in, out REDConfig, rand func() float64, beLimit int) *AFSche
 		BE: FIFO{MaxPackets: beLimit},
 	}
 }
+
+// SetTap implements Tapped by forwarding to the RIO queue.
+func (s *AFScheduler) SetTap(t ptrace.Tap, hop ptrace.HopID) { s.AF.SetTap(t, hop) }
 
 func isAF(d packet.DSCP) bool {
 	return d == packet.AF11 || d == packet.AF12 || d == packet.AF13

@@ -18,6 +18,7 @@ package queue
 
 import (
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 )
 
 // FIFO is a bounded drop-tail queue measured in packets and bytes.
@@ -92,6 +93,15 @@ func (q *FIFO) Stats(name string) ClassStats {
 		Name: name, Queued: q.Len(), QueuedBytes: q.Bytes(),
 		Enqueued: q.Enqueued, Dropped: q.Dropped, Bytes: q.EnqueuedBytes,
 	}
+}
+
+// Tapped is implemented by schedulers that can annotate their drop
+// decisions on a packet trace (the RED/RIO AQMs, whose probabilistic
+// drops are otherwise indistinguishable from tail drops in the owning
+// link's QueueDrop events). The topology builder wires the tap into
+// any scheduler that supports it.
+type Tapped interface {
+	SetTap(t ptrace.Tap, hop ptrace.HopID)
 }
 
 // Scheduler selects the next packet to transmit from a set of queues.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 )
 
 // REDConfig parameterizes Random Early Detection (Floyd & Jacobson).
@@ -30,9 +31,27 @@ type RED struct {
 	avg   float64
 	count int // packets since last drop, for the uniformization trick
 
+	tap ptrace.Tap
+	hop ptrace.HopID
+
 	Enqueued    int
 	EarlyDrops  int
 	ForcedDrops int
+}
+
+// SetTap implements Tapped: AQM drop decisions emit REDEarly
+// annotations alongside the owning link's QueueDrop events.
+func (r *RED) SetTap(t ptrace.Tap, hop ptrace.HopID) { r.tap, r.hop = t, hop }
+
+// annotate emits the RED-decision annotation for a rejected packet.
+func (r *RED) annotate(p *packet.Packet) {
+	if r.tap != nil {
+		r.tap.Emit(ptrace.Event{
+			Kind: ptrace.REDEarly, Hop: r.hop, Flow: p.Flow, PktID: p.ID,
+			Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+			QLen: int32(r.fifo.Len()),
+		})
+	}
 }
 
 // NewRED returns a RED queue using cfg and the given uniform [0,1)
@@ -61,6 +80,7 @@ func (r *RED) Enqueue(p *packet.Packet) bool {
 	case r.avg >= r.cfg.MaxTh:
 		r.ForcedDrops++
 		r.count = 0
+		r.annotate(p)
 		return false
 	default:
 		r.count++
@@ -72,6 +92,7 @@ func (r *RED) Enqueue(p *packet.Packet) bool {
 		if r.rand() < pa {
 			r.EarlyDrops++
 			r.count = 0
+			r.annotate(p)
 			return false
 		}
 	}
@@ -112,6 +133,9 @@ type RIO struct {
 	inQueued      int   // in-profile packets currently queued
 	inQueuedBytes int64 // bytes of in-profile packets currently queued
 
+	tap ptrace.Tap
+	hop ptrace.HopID
+
 	Enqueued    int
 	EnqueuedIn  int
 	EnqueuedOut int
@@ -133,6 +157,9 @@ func NewRIO(in, out REDConfig, rand func() float64) *RIO {
 
 // Len reports the instantaneous queue length.
 func (r *RIO) Len() int { return r.fifo.Len() }
+
+// SetTap implements Tapped (see RED.SetTap).
+func (r *RIO) SetTap(t ptrace.Tap, hop ptrace.HopID) { r.tap, r.hop = t, hop }
 
 func redTest(avg float64, cfg REDConfig, count *int, rand func() float64) bool {
 	switch {
@@ -168,6 +195,15 @@ func (r *RIO) Enqueue(p *packet.Packet) bool {
 		dropped = redTest(r.avgIn, r.in, &r.countIn, r.rand)
 	} else {
 		dropped = redTest(r.avgAll, r.out, &r.countOut, r.rand)
+	}
+	if dropped && r.tap != nil {
+		// Annotate the RIO decision; full-buffer rejections below are
+		// plain tail drops the owning link already records.
+		r.tap.Emit(ptrace.Event{
+			Kind: ptrace.REDEarly, Hop: r.hop, Flow: p.Flow, PktID: p.ID,
+			Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+			QLen: int32(r.fifo.Len()), Flag: uint8(p.Color),
+		})
 	}
 	if dropped || !r.fifo.Push(p) {
 		if in {

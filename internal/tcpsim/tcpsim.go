@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -63,12 +64,28 @@ type Sender struct {
 	// it is the "what if" ablation for the B=3000 TCP curves.
 	LimitedTransmit bool
 
+	// Tap, when set, receives TCPSend (Flag=1 for retransmissions),
+	// TCPAck (Flag=1 for duplicates, Delay=smoothed RTT) and TCPRTO
+	// (Delay=the expired timeout) events; QLen carries the flight in
+	// MSS-sized segments.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
+
 	// Stats.
 	Sent        int
 	Retransmits int
 	Timeouts    int
 
 	onDeliverable func() // kicked when window may have opened
+}
+
+// emit records a TCP endpoint event; flight is reported in segments.
+func (t *Sender) emit(k ptrace.Kind, pktID uint64, size int, flag uint8, delay units.Time) {
+	t.Tap.Emit(ptrace.Event{
+		Kind: k, Hop: t.Hop, Flow: t.Flow, PktID: pktID,
+		Size: int32(size), FrameSeq: -1, Flag: flag, Delay: delay,
+		QLen: int32((t.sndNxt - t.sndUna + MSS - 1) / MSS),
+	})
 }
 
 // NewSender returns a sender in initial slow start.
@@ -128,6 +145,13 @@ func (t *Sender) sendSegment(seq int64, size int, retrans bool) {
 	} else if _, dup := t.sendTimes[seq]; !dup {
 		t.sendTimes[seq] = t.Sim.Now()
 	}
+	if t.Tap != nil {
+		var flag uint8
+		if retrans {
+			flag = 1
+		}
+		t.emit(ptrace.TCPSend, p.ID, p.Size, flag, 0)
+	}
 	t.Out.Handle(p)
 }
 
@@ -171,6 +195,9 @@ func (t *Sender) onRTO() {
 		return
 	}
 	t.Timeouts++
+	if t.Tap != nil {
+		t.emit(ptrace.TCPRTO, 0, 0, 0, t.rto)
+	}
 	t.ssthresh = maxf(float64(t.sndNxt-t.sndUna)/2, 2*MSS)
 	t.cwnd = MSS
 	t.rto *= 2
@@ -200,6 +227,13 @@ func (t *Sender) OnDeliverable(fn func()) { t.onDeliverable = fn }
 // released to the sender's pool before returning.
 func (t *Sender) HandleAck(p *packet.Packet) {
 	ack := p.Ack
+	if t.Tap != nil {
+		var flag uint8
+		if ack == t.sndUna && t.sndNxt > t.sndUna {
+			flag = 1 // duplicate
+		}
+		t.emit(ptrace.TCPAck, p.ID, p.Size, flag, t.srtt)
+	}
 	t.Pool.Put(p)
 	switch {
 	case ack > t.sndUna:

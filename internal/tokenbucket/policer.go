@@ -2,6 +2,7 @@ package tokenbucket
 
 import (
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -27,6 +28,10 @@ type Policer struct {
 	// drops. The drop observer is called first and only borrows the
 	// packet (copy-on-retain).
 	Pool *packet.Pool
+
+	// Tap, when set, receives a verdict event per packet.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
 
 	Passed       int
 	Dropped      int
@@ -57,15 +62,29 @@ func (p *Policer) Handle(pkt *packet.Packet) {
 		pkt.DSCP = p.mark
 		p.Passed++
 		p.PassedBytes += int64(pkt.Size)
+		if p.Tap != nil {
+			p.Tap.Emit(p.verdict(ptrace.PolicerPass, pkt))
+		}
 		p.next.Handle(pkt)
 		return
 	}
 	p.Dropped++
 	p.DroppedBytes += int64(pkt.Size)
+	if p.Tap != nil {
+		p.Tap.Emit(p.verdict(ptrace.PolicerDrop, pkt))
+	}
 	if p.drop != nil {
 		p.drop.Handle(pkt) // observer borrows; must not retain or release
 	}
 	p.Pool.Put(pkt)
+}
+
+// verdict copies the trace fields out of pkt before ownership moves.
+func (p *Policer) verdict(k ptrace.Kind, pkt *packet.Packet) ptrace.Event {
+	return ptrace.Event{
+		Kind: k, Hop: p.Hop, Flow: pkt.Flow, PktID: pkt.ID,
+		Size: int32(pkt.Size), DSCP: pkt.DSCP, FrameSeq: int32(pkt.FrameSeq),
+	}
 }
 
 // LossFraction reports the fraction of packets dropped so far.
@@ -92,6 +111,11 @@ type Shaper struct {
 	// Pool, when set, receives packets the shaper drops (oversized or
 	// queue overflow).
 	Pool *packet.Pool
+
+	// Tap, when set, receives release/drop events; released packets
+	// that had to wait in the shaper queue carry Flag=1.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
 
 	queue    packet.Ring
 	maxQueue int
@@ -134,16 +158,25 @@ func (sh *Shaper) Handle(pkt *packet.Packet) {
 	if !sh.busy && sh.queue.Len() == 0 && sh.bucket.Conform(now, pkt.Size) {
 		pkt.DSCP = sh.mark
 		sh.Passed++
+		if sh.Tap != nil {
+			sh.Tap.Emit(sh.event(ptrace.ShaperRelease, pkt, 0))
+		}
 		sh.next.Handle(pkt)
 		return
 	}
 	if int64(pkt.Size) > int64(sh.bucket.Depth()) {
 		sh.Dropped++ // can never conform
+		if sh.Tap != nil {
+			sh.Tap.Emit(sh.event(ptrace.ShaperDrop, pkt, 0))
+		}
 		sh.Pool.Put(pkt)
 		return
 	}
 	if sh.queue.Len() >= sh.maxQueue {
 		sh.Dropped++
+		if sh.Tap != nil {
+			sh.Tap.Emit(sh.event(ptrace.ShaperDrop, pkt, 0))
+		}
 		sh.Pool.Put(pkt)
 		return
 	}
@@ -165,6 +198,9 @@ func (sh *Shaper) scheduleNext() {
 		// Unreachable given the Handle guard, but keep the queue moving.
 		sh.queue.Pop()
 		sh.Dropped++
+		if sh.Tap != nil {
+			sh.Tap.Emit(sh.event(ptrace.ShaperDrop, head, 0))
+		}
 		sh.Pool.Put(head)
 		sh.scheduleNext()
 		return
@@ -183,6 +219,18 @@ func (sh *Shaper) releaseHead() {
 	sh.bucket.Debit(sh.sim.Now(), p.Size)
 	p.DSCP = sh.mark
 	sh.Passed++
+	if sh.Tap != nil {
+		sh.Tap.Emit(sh.event(ptrace.ShaperRelease, p, 1))
+	}
 	sh.next.Handle(p)
 	sh.scheduleNext()
+}
+
+// event copies the trace fields out of p before ownership moves.
+func (sh *Shaper) event(k ptrace.Kind, p *packet.Packet, flag uint8) ptrace.Event {
+	return ptrace.Event{
+		Kind: k, Hop: sh.Hop, Flow: p.Flow, PktID: p.ID,
+		Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+		QLen: int32(sh.queue.Len()), Flag: flag,
+	}
 }

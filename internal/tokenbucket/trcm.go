@@ -2,6 +2,7 @@ package tokenbucket
 
 import (
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/units"
 )
 
@@ -150,6 +151,11 @@ type AFMarker struct {
 	trtcm *TRTCM
 	next  packet.Handler
 
+	// Tap, when set, receives a verdict per packet: PolicerPass for
+	// green, PolicerDemote (Flag = the Color) for yellow and red.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
+
 	Green, Yellow, Red int
 }
 
@@ -185,6 +191,17 @@ func (a *AFMarker) Handle(pkt *packet.Packet) {
 		a.Yellow++
 	default:
 		a.Red++
+	}
+	if a.Tap != nil {
+		k := ptrace.PolicerPass
+		if c != packet.Green {
+			k = ptrace.PolicerDemote
+		}
+		a.Tap.Emit(ptrace.Event{
+			Kind: k, Hop: a.Hop, Flow: pkt.Flow, PktID: pkt.ID,
+			Size: int32(pkt.Size), DSCP: pkt.DSCP, FrameSeq: int32(pkt.FrameSeq),
+			Flag: uint8(c),
+		})
 	}
 	a.next.Handle(pkt)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -177,6 +178,7 @@ func (e *elem) entry() packet.Handler {
 type Builder struct {
 	sim    *sim.Simulator
 	pool   *packet.Pool
+	trace  *ptrace.Recorder
 	elems  []*elem
 	byName map[string]*elem
 	errs   []error
@@ -203,6 +205,18 @@ func (b *Builder) Pool() *packet.Pool { return b.pool }
 func (b *Builder) UsePool(p *packet.Pool) {
 	if p != nil {
 		b.pool = p
+	}
+}
+
+// UseTrace attaches a packet-trace recorder: Build wires every
+// traceable element's Tap to it, with the element's declared name as
+// the hop. The recorder's clock is set to the builder's simulator.
+// A nil recorder leaves tracing disabled (every Tap stays nil, so the
+// datapath keeps its allocation-free disabled path).
+func (b *Builder) UseTrace(rec *ptrace.Recorder) {
+	b.trace = rec
+	if rec != nil {
+		rec.SetClock(b.sim)
 	}
 }
 
@@ -369,6 +383,30 @@ func (b *Builder) Build() (*Network, error) {
 		}
 	}
 
+	// Phase 1.5: attach trace taps. Pure observation — no events are
+	// scheduled and no RNG is touched, so a traced build remains
+	// bit-identical to an untraced one.
+	if b.trace != nil {
+		for _, e := range b.elems {
+			hop := b.trace.Hop(e.name)
+			switch e.kind {
+			case kindLink:
+				e.link.Tap, e.link.Hop = b.trace, hop
+				if t, ok := e.link.Sched.(queue.Tapped); ok {
+					t.SetTap(b.trace, hop)
+				}
+			case kindLoss:
+				e.loss.Tap, e.loss.Hop = b.trace, hop
+			case kindPolicer:
+				e.policer.Tap, e.policer.Hop = b.trace, hop
+			case kindShaper:
+				e.shaper.Tap, e.shaper.Hop = b.trace, hop
+			case kindAFMarker:
+				e.marker.Tap, e.marker.Hop = b.trace, hop
+			}
+		}
+	}
+
 	// Phase 2: wire references (forward references resolve here).
 	for _, e := range b.elems {
 		switch e.kind {
@@ -440,7 +478,7 @@ func (b *Builder) Build() (*Network, error) {
 		}
 	}
 
-	return &Network{Sim: s, Pool: b.pool, byName: b.byName}, nil
+	return &Network{Sim: s, Pool: b.pool, Trace: b.trace, byName: b.byName}, nil
 }
 
 // MustBuild is Build for preset code where a wiring error is a bug.
@@ -460,7 +498,11 @@ type Network struct {
 	// Pool is the simulation's packet arena: every element the builder
 	// created releases and allocates through it, and externally built
 	// endpoints should too.
-	Pool   *packet.Pool
+	Pool *packet.Pool
+	// Trace is the packet-trace recorder every built element taps
+	// into, or nil when the run is untraced. Presets wire their
+	// externally built endpoints (clients, TCP senders) to it too.
+	Trace  *ptrace.Recorder
 	byName map[string]*elem
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -23,6 +24,9 @@ type LocalConfig struct {
 	TokenRate units.BitRate
 	Depth     units.ByteSize
 	Pool      *packet.Pool // packet arena; nil builds a fresh one
+	// Trace, when set, records packet-level events (including the TCP
+	// sender's send/ACK/RTO in TCP mode) into the bounded recorder.
+	Trace *ptrace.Recorder
 
 	UseTCP bool // TCP streaming with server-side thinning (the usable mode)
 
@@ -83,6 +87,7 @@ func BuildLocal(cfg LocalConfig) *Local {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
 	b.UsePool(cfg.Pool)
+	b.UseTrace(cfg.Trace)
 	l := &Local{Sim: b.Sim(), enc: cfg.Enc}
 	frames := cfg.Enc.Clip.FrameCount()
 
@@ -97,6 +102,9 @@ func BuildLocal(cfg LocalConfig) *Local {
 	} else {
 		l.UDPClient = client.NewUDP(b.Sim(), frames)
 		l.UDPClient.Pool = b.Pool()
+		if cfg.Trace != nil {
+			l.UDPClient.Tap, l.UDPClient.Hop = cfg.Trace, cfg.Trace.Hop("client")
+		}
 		deliver = l.UDPClient
 	}
 	b.Handler("deliver", deliver)
@@ -152,6 +160,9 @@ func BuildLocal(cfg LocalConfig) *Local {
 		l.Sender = tcpsim.NewSender(l.Sim, VideoFlow, hub1)
 		l.Sender.Pool = net.Pool
 		l.Sender.LimitedTransmit = cfg.LimitedTransmit
+		if cfg.Trace != nil {
+			l.Sender.Tap, l.Sender.Hop = cfg.Trace, cfg.Trace.Hop("tcp-sender")
+		}
 		asm := &client.StreamAssembler{}
 		l.Receiver = tcpsim.NewReceiver(l.Sim, VideoFlow, net.Handler("ackback"), func(n int64) {
 			l.TCPClient.OnDelivered(asm, n)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/queue"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -82,6 +83,9 @@ type MultiFlowConfig struct {
 	Enc  *video.Encoding // shared by every flow (use the cached encodings)
 	N    int             // video flow count; default 2
 	Pool *packet.Pool    // packet arena; nil builds a fresh one
+	// Trace, when set, records packet-level events from every element
+	// (and every per-flow client) into the bounded recorder.
+	Trace *ptrace.Recorder
 
 	TokenRate units.BitRate  // per-flow APS profile; default 1.3×enc nominal is the caller's business
 	Depth     units.ByteSize // per-flow burst size; default 4500
@@ -142,6 +146,7 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
 	b.UsePool(cfg.Pool)
+	b.UseTrace(cfg.Trace)
 	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, stagger: cfg.Stagger}
 
 	// Receive side: one client per flow behind a demux router; cross
@@ -156,6 +161,9 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 		cl.Tolerance = client.SliceTolerance
 		m.Clients = append(m.Clients, cl)
 		name := fmt.Sprintf("client%d", i)
+		if cfg.Trace != nil {
+			cl.Tap, cl.Hop = cfg.Trace, cfg.Trace.Hop(name)
+		}
 		b.Handler(name, cl)
 		b.Rule("demux", name, node.FlowMatch(flowID(i)), name)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
+	"repro/internal/ptrace"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -35,6 +36,9 @@ type QBoneConfig struct {
 	Depth     units.ByteSize // APS profile burst size (3000 or 4500)
 	Shape     bool           // shape instead of drop at the border
 	Pool      *packet.Pool   // packet arena; nil builds a fresh one
+	// Trace, when set, records packet-level events from every element
+	// of the path (and the client) into the given bounded recorder.
+	Trace *ptrace.Recorder
 
 	Hops         int           // backbone hops; default 4
 	HopRate      units.BitRate // default 45 Mbps
@@ -96,10 +100,14 @@ func BuildQBone(cfg QBoneConfig) *QBone {
 	cfg = cfg.withDefaults()
 	b := NewBuilder(cfg.Seed)
 	b.UsePool(cfg.Pool)
+	b.UseTrace(cfg.Trace)
 	q := &QBone{Sim: b.Sim()}
 
 	cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
 	cl.Pool = b.Pool()
+	if cfg.Trace != nil {
+		cl.Tap, cl.Hop = cfg.Trace, cfg.Trace.Hop("client")
+	}
 	q.Client = cl
 	b.Handler("client", cl)
 	b.DelayTap("delay", func(p *packet.Packet) bool { return p.Flow == VideoFlow }, "client")

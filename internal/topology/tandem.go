@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/ptrace"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/tokenbucket"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// TandemConfig parameterizes the multi-bottleneck topology: two
+// DiffServ domains in tandem, each guarding its ingress with an EF
+// token-bucket policer. Traffic that conforms at the first border is
+// re-clocked by the queues of the first domain's hops — EF burst
+// accumulation — so by the time it reaches the second border its
+// spacing no longer matches the profile it was shaped to, and the
+// second policer drops packets the first one passed. This is the
+// inter-domain effect a single-bottleneck testbed cannot show.
+type TandemConfig struct {
+	Seed uint64
+	Enc  *video.Encoding
+	Pool *packet.Pool // packet arena; nil builds a fresh one
+	// Trace, when set, records packet-level events from every element
+	// (both policers, every hop, the client) into the bounded
+	// recorder — the natural input for cmd/dstrace.
+	Trace *ptrace.Recorder
+
+	TokenRate units.BitRate  // APS profile rate, applied at both borders
+	Depth     units.ByteSize // APS profile burst, applied at both borders
+
+	// SecondBorder inserts the second domain's ingress policer. With
+	// it false the second domain trusts the first (the single-border
+	// baseline the tandem series is compared against).
+	SecondBorder bool
+	// Border2Scale scales the second border's token rate relative to
+	// the first (default 1.0 — the same contracted profile).
+	Border2Scale float64
+	// InterJitter models the uncontrolled peering segment between the
+	// domains (default 3 ms) — the tandem analog of the campus jitter
+	// ahead of border 1: clumping it introduces is what pushes
+	// border-1-conformant traffic out of profile at border 2.
+	InterJitter units.Time
+
+	HopsPerDomain int           // backbone hops per domain; default 2
+	HopRate       units.BitRate // default 45 Mbps
+	HopDelay      units.Time    // default 5 ms
+	CampusJitter  units.Time    // default 5 ms (pre-policer jitter)
+	CrossLoad     float64       // best-effort load fraction per hop; default 0.15
+	AccessRate    units.BitRate // client access link; default 10 Mbps
+}
+
+func (c TandemConfig) withDefaults() TandemConfig {
+	if c.Border2Scale == 0 {
+		c.Border2Scale = 1
+	}
+	if c.HopsPerDomain == 0 {
+		c.HopsPerDomain = 2
+	}
+	if c.InterJitter == 0 {
+		c.InterJitter = 3 * units.Millisecond
+	}
+	if c.HopRate == 0 {
+		c.HopRate = 45 * units.Mbps
+	}
+	if c.HopDelay == 0 {
+		c.HopDelay = 5 * units.Millisecond
+	}
+	if c.CampusJitter == 0 {
+		c.CampusJitter = 5 * units.Millisecond
+	}
+	if c.CrossLoad == 0 {
+		c.CrossLoad = 0.15
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 10 * units.Mbps
+	}
+	return c
+}
+
+// Tandem is a built two-domain experiment.
+type Tandem struct {
+	Sim     *sim.Simulator
+	Net     *Network
+	Server  *server.Paced
+	Client  *client.UDP
+	Border1 *tokenbucket.Policer
+	Border2 *tokenbucket.Policer // nil without SecondBorder
+}
+
+func domainHop(d, i int) string { return fmt.Sprintf("d%dhop%d", d, i) }
+
+// BuildTandem declares the two-domain graph on the Builder, client
+// side first (matching the QBone preset's source-start order): server
+// → campus → jitter → border1 policer → domain-1 hops → [border2
+// policer] → domain-2 hops → access → client. Cross traffic loads
+// every hop of both domains, so domain-1 queueing perturbs the EF
+// spacing border2 measures.
+func BuildTandem(cfg TandemConfig) *Tandem {
+	cfg = cfg.withDefaults()
+	b := NewBuilder(cfg.Seed)
+	b.UsePool(cfg.Pool)
+	b.UseTrace(cfg.Trace)
+	t := &Tandem{Sim: b.Sim()}
+
+	cl := client.NewUDP(b.Sim(), cfg.Enc.Clip.FrameCount())
+	cl.Pool = b.Pool()
+	cl.Tolerance = client.SliceTolerance
+	if cfg.Trace != nil {
+		cl.Tap, cl.Hop = cfg.Trace, cfg.Trace.Hop("client")
+	}
+	t.Client = cl
+	b.Handler("client", cl)
+	b.Link("access", LinkSpec{Rate: cfg.AccessRate, Delay: units.Millisecond,
+		Sched: EFPriority(0, 200), To: "client"})
+
+	// Domain 2, client side first.
+	for i := cfg.HopsPerDomain - 1; i >= 0; i-- {
+		to := "access"
+		if i < cfg.HopsPerDomain-1 {
+			to = domainHop(2, i+1)
+		}
+		b.Link(domainHop(2, i), LinkSpec{Rate: cfg.HopRate, Delay: cfg.HopDelay,
+			Sched: EFPriority(400, 400), To: to})
+		if cfg.CrossLoad > 0 {
+			b.Source(domainHop(2, i)+"-cross", SourceSpec{
+				Kind: PoissonSource,
+				Rate: units.BitRate(cfg.CrossLoad * float64(cfg.HopRate)),
+				Size: units.EthernetMTU, Flow: packet.FlowID(2000 + i),
+				DSCP: packet.BestEffort, To: domainHop(2, i),
+			})
+		}
+	}
+
+	// Border 2: the second domain's ingress re-polices the EF
+	// aggregate against the contracted profile (or trusts domain 1
+	// when SecondBorder is off). The peering segment's jitter sits in
+	// front of it either way, so the baseline differs only in the
+	// policer itself.
+	domain2 := domainHop(2, 0)
+	if cfg.SecondBorder {
+		b.Policer("border2", units.BitRate(cfg.Border2Scale*float64(cfg.TokenRate)),
+			cfg.Depth, packet.EF, domain2)
+		b.Router("interdomain", domain2)
+		b.Rule("interdomain", "ef-resign", node.DSCPMatch(packet.EF), "border2")
+		domain2 = "interdomain"
+	}
+	b.Jitter("peering", cfg.InterJitter, domain2)
+	domain2 = "peering"
+
+	// Domain 1, client side first; its last hop hands off to domain 2.
+	for i := cfg.HopsPerDomain - 1; i >= 0; i-- {
+		to := domain2
+		if i < cfg.HopsPerDomain-1 {
+			to = domainHop(1, i+1)
+		}
+		b.Link(domainHop(1, i), LinkSpec{Rate: cfg.HopRate, Delay: cfg.HopDelay,
+			Sched: EFPriority(400, 400), To: to})
+		if cfg.CrossLoad > 0 {
+			b.Source(domainHop(1, i)+"-cross", SourceSpec{
+				Kind: PoissonSource,
+				Rate: units.BitRate(cfg.CrossLoad * float64(cfg.HopRate)),
+				Size: units.EthernetMTU, Flow: packet.FlowID(1000 + i),
+				DSCP: packet.BestEffort, To: domainHop(1, i),
+			})
+		}
+	}
+
+	// Border 1: the sender-side campus edge, exactly the QBone CAR.
+	b.Policer("border1", cfg.TokenRate, cfg.Depth, packet.EF, domainHop(1, 0))
+	b.Router("border", domainHop(1, 0))
+	b.Rule("border", "video-aps", node.FlowMatch(VideoFlow), "border1")
+	b.Jitter("jit", cfg.CampusJitter, "border")
+	b.Link("campus", LinkSpec{Rate: 100 * units.Mbps, Delay: 500 * units.Microsecond,
+		Sched: PlainFIFO(0), To: "jit"})
+
+	net := b.MustBuild()
+	t.Net = net
+	t.Border1 = net.Policer("border1")
+	if cfg.SecondBorder {
+		t.Border2 = net.Policer("border2")
+	}
+	t.Server = &server.Paced{
+		Sim: t.Sim, Enc: cfg.Enc, Flow: VideoFlow,
+		Next: net.Handler("campus"), Pool: net.Pool,
+	}
+	return t
+}
+
+// Run starts the server and executes the simulation to completion.
+func (t *Tandem) Run() {
+	t.Server.Start()
+	horizon := units.FromSeconds(t.Server.Enc.Clip.DurationSeconds() + 30)
+	t.Sim.SetHorizon(horizon)
+	t.Sim.Run()
+	t.Client.Finish()
+}
+
+// PolicerLoss reports each border's drop fraction (border2 is 0
+// without a second border).
+func (t *Tandem) PolicerLoss() (b1, b2 float64) {
+	b1 = t.Border1.LossFraction()
+	if t.Border2 != nil {
+		b2 = t.Border2.LossFraction()
+	}
+	return b1, b2
+}
