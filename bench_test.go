@@ -16,6 +16,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/tokenbucket"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -266,5 +267,32 @@ func BenchmarkConceal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = render.Conceal(tr, render.DefaultOptions())
+	}
+}
+
+// BenchmarkNFlowPoint contrasts one wide nflow grid point built on N
+// real paced servers (per-flow access chains, per-frame closures)
+// against the flow-batched fan-out source covering the same N virtual
+// flows — the byte-identical fast path nflow-wide sweeps on.
+func BenchmarkNFlowPoint(b *testing.B) {
+	enc := video.CachedCBR(video.Lost(), 1.0e6)
+	for _, bc := range []struct {
+		name  string
+		batch bool
+	}{{"unbatched", false}, {"batched", true}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+					Seed: experiment.DefaultSeed, Enc: enc, N: 64,
+					TokenRate: 1.3e6, Depth: 4500, BottleneckRate: 6e6,
+					BELoad: 0.15, Stagger: 53 * units.Millisecond, Batch: bc.batch,
+				})
+				m.Run()
+				if m.Bottleneck.Sent == 0 {
+					b.Fatal("bottleneck carried nothing")
+				}
+			}
+		})
 	}
 }

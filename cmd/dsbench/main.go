@@ -76,6 +76,11 @@ type jsonPoint struct {
 	FrameLoss    float64 `json:"frame_loss"`
 	Quality      float64 `json:"quality"`
 	PacketLoss   float64 `json:"packet_loss"`
+	// Events and VirtualFlows expose the per-point scaling trajectory:
+	// for the batched wide sweeps, events per virtual flow falling as N
+	// grows is the recorded sublinearity evidence.
+	Events       uint64 `json:"events,omitempty"`
+	VirtualFlows int    `json:"virtual_flows,omitempty"`
 }
 
 type jsonSeries struct {
@@ -94,9 +99,15 @@ type scenarioRecord struct {
 	// throughput number the perf trajectory tracks, and AllocsPerEvent
 	// is the process-wide heap allocations attributed to each event —
 	// the pooled hot paths drive it toward zero.
-	Events         uint64       `json:"events"`
-	EventsPerSec   float64      `json:"events_per_sec"`
-	AllocsPerEvent float64      `json:"allocs_per_event"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// VirtualFlows totals the flows simulated across the scenario
+	// (each simulation counted once); EventsPerVFlow = Events /
+	// VirtualFlows is the per-flow cost the batched sources drive down
+	// as aggregates widen.
+	VirtualFlows   int          `json:"virtual_flows,omitempty"`
+	EventsPerVFlow float64      `json:"events_per_vflow,omitempty"`
 	Series         []jsonSeries `json:"series"`
 }
 
@@ -109,10 +120,11 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 		js := jsonSeries{Label: s.Label}
 		for _, p := range s.Points {
 			rec.Events += p.Events
+			rec.VirtualFlows += p.VFlows
 			js.Points = append(js.Points, jsonPoint{
 				TokenRateBps: float64(p.TokenRate), DepthBytes: int64(p.Depth),
 				Label: p.Label, FrameLoss: p.FrameLoss, Quality: p.Quality,
-				PacketLoss: p.PacketLoss,
+				PacketLoss: p.PacketLoss, Events: p.Events, VirtualFlows: p.VFlows,
 			})
 		}
 		rec.Series = append(rec.Series, js)
@@ -122,6 +134,9 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 	}
 	if rec.Events > 0 {
 		rec.AllocsPerEvent = float64(allocs) / float64(rec.Events)
+	}
+	if rec.VirtualFlows > 0 {
+		rec.EventsPerVFlow = float64(rec.Events) / float64(rec.VirtualFlows)
 	}
 	return rec
 }

@@ -20,8 +20,23 @@
 // executed on a deterministic worker pool (runner) that keeps output
 // byte-identical at every parallelism level. Beyond the paper's
 // figures, the registry carries scaling scenarios (N competing flows,
-// bottleneck-scheduler comparison, tandem policed borders) built on
-// the topology builder.
+// bottleneck-scheduler comparison, tandem policed borders, and the
+// flow-batched nflow-wide sweep to hundreds of virtual flows) built
+// on the topology builder.
+//
+// Identical paced flows are batched (flowbatch): one representative
+// emission schedule per equivalence class — same encoding, rate and
+// packet sizing — cached and fanned out as N phase-offset virtual
+// flows by a single source that folds the per-flow access link
+// (exact serialization emulation) and campus jitter (root-RNG draws
+// in global arrival order) into itself. Virtual flows keep distinct
+// flow ids, policers, taps and per-flow statistics, and a batched
+// build is byte-identical to N real servers — pinned by the
+// differential harness in internal/experiment — while paying the
+// source-side cost once; the fold is exact for the multi-flow
+// topology and unavailable for random (Poisson/on-off) sources. This
+// is what lets the nflow-wide scenario sweep N ∈ {16..512} with
+// events per virtual flow falling as N grows.
 //
 // Below the frame layer, the packet tracing subsystem (ptrace) makes
 // the datapath observable: every component carries a nil-by-default

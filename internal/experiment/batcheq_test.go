@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/video"
+)
+
+// The differential equivalence harness: a batched nflow grid point
+// must be byte-identical to the unbatched one — same per-flow
+// delivered packet and byte counts, same per-flow policer verdicts,
+// same bottleneck totals, and bit-identical quality figures. This is
+// the contract that lets nflow-wide sweep to hundreds of virtual
+// flows on the batched source without changing what is measured.
+
+// runNFlowPoint builds and runs one nflow grid point at the
+// registered scenario's configuration, batched or not.
+func runNFlowPoint(n int, batch bool) (*topology.MultiFlow, []Evaluation) {
+	spec := NFlowSweepSpec()
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+		Seed: spec.Seed, Enc: enc, N: n,
+		TokenRate: spec.TokenRate, Depth: spec.Depth,
+		BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+		BELoad: spec.BELoad, Batch: batch,
+	})
+	m.Run()
+	evs := make([]Evaluation, n)
+	for i, cl := range m.Clients {
+		evs[i] = Evaluate(cl.Trace(), enc, enc)
+	}
+	return m, evs
+}
+
+func TestBatchedNFlowEquivalence(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		t.Run(map[int]string{2: "N=2", 4: "N=4", 8: "N=8"}[n], func(t *testing.T) {
+			t.Parallel()
+			mu, evu := runNFlowPoint(n, false)
+			mb, evb := runNFlowPoint(n, true)
+			for i := 0; i < n; i++ {
+				if mu.Clients[i].Packets != mb.Clients[i].Packets ||
+					mu.Clients[i].PacketsBytes != mb.Clients[i].PacketsBytes {
+					t.Errorf("flow %d delivered: unbatched %d pkts/%d B, batched %d pkts/%d B",
+						i, mu.Clients[i].Packets, mu.Clients[i].PacketsBytes,
+						mb.Clients[i].Packets, mb.Clients[i].PacketsBytes)
+				}
+				pu, pb := mu.Policers[i], mb.Policers[i]
+				if pu.Passed != pb.Passed || pu.Dropped != pb.Dropped ||
+					pu.PassedBytes != pb.PassedBytes || pu.DroppedBytes != pb.DroppedBytes {
+					t.Errorf("flow %d policer: unbatched pass=%d drop=%d (%d/%d B), batched pass=%d drop=%d (%d/%d B)",
+						i, pu.Passed, pu.Dropped, pu.PassedBytes, pu.DroppedBytes,
+						pb.Passed, pb.Dropped, pb.PassedBytes, pb.DroppedBytes)
+				}
+				if evu[i] != evb[i] {
+					t.Errorf("flow %d evaluation diverged:\nunbatched %+v\nbatched   %+v", i, evu[i], evb[i])
+				}
+			}
+			if mu.Bottleneck.Sent != mb.Bottleneck.Sent ||
+				mu.Bottleneck.SentBytes != mb.Bottleneck.SentBytes {
+				t.Errorf("bottleneck: unbatched %d pkts/%d B, batched %d pkts/%d B",
+					mu.Bottleneck.Sent, mu.Bottleneck.SentBytes,
+					mb.Bottleneck.Sent, mb.Bottleneck.SentBytes)
+			}
+			// The point of batching: covering N flows with one source
+			// must execute strictly fewer simulator events.
+			if mb.Sim.Fired() >= mu.Sim.Fired() {
+				t.Errorf("batched run fired %d events, unbatched %d — no source-side saving",
+					mb.Sim.Fired(), mu.Sim.Fired())
+			}
+			// The batched source emitted the full schedule per flow.
+			for i, sent := range mb.Batched.Sent {
+				if sent != len(mb.Batched.Sched.Entries) {
+					t.Errorf("virtual flow %d emitted %d of %d scheduled packets",
+						i, sent, len(mb.Batched.Sched.Entries))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedWideConfigEquivalence extends the differential harness
+// to the nflow-wide configuration (24 Mbps bottleneck, 53 ms
+// stagger) at N=16 and N=32: per-flow delivered counts and the
+// bottleneck totals must match the unbatched build exactly. Beyond
+// N=64 the wide config's schedule lattice produces its first exact
+// same-instant cross-flow tie, where the batched fan-out's
+// deterministic (time, flow) order and a real event queue's
+// scheduling order legitimately differ — batched runs are then
+// statistically equivalent samples rather than bit-equal ones (see
+// the flowbatch package comment), so the exactness pin stops here.
+func TestBatchedWideConfigEquivalence(t *testing.T) {
+	t.Parallel()
+	spec := NFlowWideSpec()
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	run := func(n int, batch bool) *topology.MultiFlow {
+		m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+			Seed: spec.Seed, Enc: enc, N: n,
+			TokenRate: spec.TokenRate, Depth: spec.Depth,
+			BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+			BELoad: spec.BELoad, Batch: batch, Stagger: spec.Stagger,
+		})
+		m.Run()
+		return m
+	}
+	for _, n := range []int{16, 32} {
+		n := n
+		t.Run(map[int]string{16: "N=16", 32: "N=32"}[n], func(t *testing.T) {
+			t.Parallel()
+			mu, mb := run(n, false), run(n, true)
+			for i := 0; i < n; i++ {
+				if mu.Clients[i].Packets != mb.Clients[i].Packets ||
+					mu.Clients[i].PacketsBytes != mb.Clients[i].PacketsBytes {
+					t.Errorf("flow %d delivered: unbatched %d pkts/%d B, batched %d pkts/%d B",
+						i, mu.Clients[i].Packets, mu.Clients[i].PacketsBytes,
+						mb.Clients[i].Packets, mb.Clients[i].PacketsBytes)
+				}
+				pu, pb := mu.Policers[i], mb.Policers[i]
+				if pu.Passed != pb.Passed || pu.Dropped != pb.Dropped ||
+					pu.PassedBytes != pb.PassedBytes || pu.DroppedBytes != pb.DroppedBytes {
+					t.Errorf("flow %d policer: unbatched pass=%d drop=%d (%d/%d B), batched pass=%d drop=%d (%d/%d B)",
+						i, pu.Passed, pu.Dropped, pu.PassedBytes, pu.DroppedBytes,
+						pb.Passed, pb.Dropped, pb.PassedBytes, pb.DroppedBytes)
+				}
+				eu := Evaluate(mu.Clients[i].Trace(), enc, enc)
+				eb := Evaluate(mb.Clients[i].Trace(), enc, enc)
+				if eu != eb {
+					t.Errorf("flow %d evaluation diverged:\nunbatched %+v\nbatched   %+v", i, eu, eb)
+				}
+			}
+			if mu.Bottleneck.Sent != mb.Bottleneck.Sent ||
+				mu.Bottleneck.SentBytes != mb.Bottleneck.SentBytes {
+				t.Errorf("bottleneck: unbatched %d pkts/%d B, batched %d pkts/%d B",
+					mu.Bottleneck.Sent, mu.Bottleneck.SentBytes,
+					mb.Bottleneck.Sent, mb.Bottleneck.SentBytes)
+			}
+		})
+	}
+}
+
+// TestNFlowWideRegistered pins the wide-aggregate scenario's
+// registration and its batched, large-N shape.
+func TestNFlowWideRegistered(t *testing.T) {
+	s := Lookup("nflow-wide")
+	if s == nil {
+		t.Fatal("nflow-wide not registered")
+	}
+	spec, ok := s.(MultiFlowSpec)
+	if !ok {
+		t.Fatalf("nflow-wide is %T, want MultiFlowSpec", s)
+	}
+	if !spec.Batch {
+		t.Error("nflow-wide is not batched")
+	}
+	if max := spec.Ns[len(spec.Ns)-1]; max < 256 {
+		t.Errorf("nflow-wide tops out at N=%d, want >= 256", max)
+	}
+	if _, ok := s.(Scalable); !ok {
+		t.Error("nflow-wide is not Scalable")
+	}
+	// The spec's own Jobs must actually run on the batched source —
+	// the knob reaching BuildMultiFlow is exactly what this guards
+	// (same figure as an unbatched run, strictly fewer events).
+	reduced := spec
+	reduced.Ns = []int{4}
+	batchedPt := reduced.Jobs()[0](&Ctx{})
+	unb := reduced
+	unb.Batch = false
+	unbatchedPt := unb.Jobs()[0](&Ctx{})
+	if batchedPt.Quality != unbatchedPt.Quality || batchedPt.FrameLoss != unbatchedPt.FrameLoss {
+		t.Errorf("registered spec's batched point diverged: batched %+v vs unbatched %+v",
+			batchedPt.Evaluation, unbatchedPt.Evaluation)
+	}
+	if batchedPt.Events >= unbatchedPt.Events {
+		t.Errorf("registered spec's jobs fired %d events, unbatched %d — Batch knob not reaching the topology",
+			batchedPt.Events, unbatchedPt.Events)
+	}
+}

@@ -63,6 +63,13 @@ type Point struct {
 	// keep Events on exactly one copy, so summing over every series
 	// point of a figure counts each simulation once.
 	Events uint64
+
+	// VFlows counts the virtual flows this point simulated (len(Flows)
+	// for multi-flow scenarios, 0 for the single-flow figures). Like
+	// Events it rides exactly one series copy, so dsbench's
+	// events-per-virtual-flow scaling metric counts each simulation
+	// once.
+	VFlows int
 }
 
 // rowLabel is what the figure table prints in the first column.

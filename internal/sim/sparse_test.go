@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Sparse-workload stress for the calendar queue: a tcp-only run with
+// long retransmission timeouts schedules almost nothing inside the
+// 64 ms calendar window — every RTO lands in the overflow heap, and
+// each firing rebases the window onto the overflow minimum and
+// migrates whatever now fits. This is the regime the ROADMAP's
+// "adaptive calendar-queue width" item targets; before touching the
+// width policy, pin the current structure's exact (time, seq) firing
+// order against the reference sort under heavy rebase pressure.
+
+// rtoEvent mirrors the shape of a tcpsim long-RTO schedule entry.
+type rtoEvent struct {
+	when units.Time
+	seq  int
+}
+
+// TestCalendarSparseLongRTOSchedule drives the schedule a tcp-only
+// simulation with repeated RTO backoff produces: short in-window
+// bursts (a flight of segments and their ACK timers), then an
+// exponentially backed-off silence — 200 ms doubling to the 64 s RTO
+// ceiling — far beyond the 64 ms calendar window, so every burst
+// forces a window rebase and an overflow migration. Cancels model
+// ACKs disarming pending retransmission timers. The firing order must
+// match the (time, seq) reference sort exactly.
+func TestCalendarSparseLongRTOSchedule(t *testing.T) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(17))
+
+	var want []rtoEvent
+	var got []rtoEvent
+	seq := 0
+	add := func(when units.Time, cancelled bool) {
+		id := seq
+		seq++
+		h := s.At(when, func() { got = append(got, rtoEvent{when, id}) })
+		if cancelled {
+			h.Cancel()
+			return
+		}
+		want = append(want, rtoEvent{when, id})
+	}
+
+	// Ten connections, each cycling through RTO backoff epochs.
+	for conn := 0; conn < 10; conn++ {
+		base := units.Time(conn) * 37 * units.Millisecond
+		rto := 200 * units.Millisecond
+		for epoch := 0; epoch < 9; epoch++ {
+			// The flight: a handful of segment transmissions clustered
+			// within a few bucket widths of the epoch start.
+			flight := 3 + rng.Intn(5)
+			for i := 0; i < flight; i++ {
+				at := base + units.Time(rng.Int63n(int64(2*units.Millisecond)))
+				// Roughly half the per-segment timers are disarmed by an
+				// "ACK" before firing, the calendar's lazy-purge path.
+				add(at, rng.Intn(2) == 0)
+			}
+			// The retransmission timer itself: one far-future event per
+			// epoch, doubling each time (the overflow resident).
+			add(base+rto, false)
+			base += rto
+			if rto < 64*units.Second {
+				rto *= 2
+			}
+		}
+	}
+
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", s.Pending())
+	}
+}
+
+// TestCalendarRebaseInterleavedWithDense interleaves the sparse RTO
+// pattern with a dense near-future packet stream, so window advances
+// happen while buckets still drain — rebases must never reorder or
+// drop the in-window traffic that races them.
+func TestCalendarRebaseInterleavedWithDense(t *testing.T) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(29))
+
+	type key struct {
+		when units.Time
+		seq  int
+	}
+	var want []key
+	var got []key
+	for i := 0; i < 4000; i++ {
+		var when units.Time
+		switch rng.Intn(4) {
+		case 0:
+			// Dense sub-window traffic.
+			when = units.Time(rng.Int63n(int64(numBuckets * bucketWidth)))
+		case 1:
+			// Just past the window edge: migrates on the first rebase.
+			when = units.Time(numBuckets*bucketWidth) + units.Time(rng.Int63n(int64(bucketWidth)))
+		default:
+			// Long-RTO silence: seconds to minutes out.
+			when = units.Time(rng.Int63n(int64(120 * units.Second)))
+		}
+		i := i
+		w := when
+		s.At(when, func() { got = append(got, key{w, i}) })
+		want = append(want, key{when, i})
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 
+	"repro/internal/flowbatch"
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
@@ -79,6 +80,18 @@ type SourceSpec struct {
 	MeanOn  units.Time // OnOff only
 	MeanOff units.Time // OnOff only
 
+	// Batch > 1 fans the source out as Batch phase-offset virtual
+	// flows (ids Flow..Flow+Batch-1) driven by one timer — see
+	// internal/flowbatch. Only deterministic kinds support batching:
+	// declaring Batch on a Poisson or on-off source is a Build error,
+	// because their per-flow RNG forks cannot be reproduced exactly by
+	// a shared stream. Rate and Size are per virtual flow.
+	Batch int
+	// BatchPhase staggers consecutive virtual flows' starts (0 starts
+	// them together, which is packet-for-packet identical to declaring
+	// Batch separate CBR sources in flow-id order).
+	BatchPhase units.Time
+
 	Until units.Time // stop time; 0 = run to horizon
 	To    string
 }
@@ -135,6 +148,7 @@ type elem struct {
 	poisson *traffic.Poisson
 	cbr     *traffic.CBR
 	onoff   *traffic.OnOff
+	bcbr    *flowbatch.BatchedCBR
 }
 
 // entry returns the element's packet entry point.
@@ -370,6 +384,15 @@ func (b *Builder) Build() (*Network, error) {
 			e.tap = &stats.DelayCollector{Clock: s, Match: e.match}
 		case kindSource:
 			sp := e.srcSpec
+			if sp.Batch > 1 {
+				if sp.Kind != CBRSource {
+					return nil, fmt.Errorf("topology: source %q: only CBR sources support batching (kind %d is random per flow)", e.name, sp.Kind)
+				}
+				e.bcbr = &flowbatch.BatchedCBR{Sim: s, Rate: sp.Rate, Size: sp.Size,
+					BaseFlow: sp.Flow, DSCP: sp.DSCP, N: sp.Batch, Phase: sp.BatchPhase,
+					Until: sp.Until, Pool: b.pool}
+				continue
+			}
 			switch sp.Kind {
 			case PoissonSource:
 				e.poisson = &traffic.Poisson{Sim: s, Rate: sp.Rate, Size: sp.Size, Flow: sp.Flow, DSCP: sp.DSCP, Until: sp.Until, Pool: b.pool}
@@ -424,6 +447,8 @@ func (b *Builder) Build() (*Network, error) {
 				e.cbr.Next = next
 			case e.onoff != nil:
 				e.onoff.Next = next
+			case e.bcbr != nil:
+				e.bcbr.Next = next
 			}
 		case kindRouter:
 			next, err := b.resolve(e.name, e.to)
@@ -475,6 +500,8 @@ func (b *Builder) Build() (*Network, error) {
 			e.cbr.Start()
 		case e.onoff != nil:
 			e.onoff.Start()
+		case e.bcbr != nil:
+			e.bcbr.Start()
 		}
 	}
 
@@ -602,4 +629,13 @@ func (n *Network) CBR(name string) *traffic.CBR {
 		panic(fmt.Sprintf("topology: %q is not a CBR source", name))
 	}
 	return e.cbr
+}
+
+// BatchedCBR returns the named batched CBR source.
+func (n *Network) BatchedCBR(name string) *flowbatch.BatchedCBR {
+	e := n.get(name)
+	if e.bcbr == nil {
+		panic(fmt.Sprintf("topology: %q is not a batched CBR source", name))
+	}
+	return e.bcbr
 }

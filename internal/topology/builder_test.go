@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -156,5 +157,56 @@ func TestNetworkAccessorPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestBuilderBatchedCBRSource pins the SourceSpec.Batch path: one
+// batched declaration must be packet-for-packet identical to Batch
+// separate CBR declarations in flow-id order, through a real built
+// link.
+func TestBuilderBatchedCBRSource(t *testing.T) {
+	build := func(batched bool) (int, int64) {
+		b := NewBuilder(7)
+		var sink packet.Sink
+		b.Handler("sink", &sink)
+		b.Link("l", LinkSpec{Rate: 20 * units.Mbps, Delay: units.Millisecond, To: "sink"})
+		if batched {
+			b.Source("c", SourceSpec{Kind: CBRSource, Rate: units.Mbps, Size: 1000,
+				Flow: 30, Batch: 3, Until: units.Second, To: "l"})
+		} else {
+			for i := 0; i < 3; i++ {
+				b.Source(fmt.Sprintf("c%d", i), SourceSpec{Kind: CBRSource,
+					Rate: units.Mbps, Size: 1000, Flow: 30 + packet.FlowID(i),
+					Until: units.Second, To: "l"})
+			}
+		}
+		net := b.MustBuild()
+		net.Sim.SetHorizon(units.FromSeconds(2))
+		net.Sim.Run()
+		if batched && net.BatchedCBR("c").Sent == 0 {
+			t.Fatal("batched source idle")
+		}
+		return sink.Count, sink.Bytes
+	}
+	uc, ub := build(false)
+	bc, bb := build(true)
+	if uc == 0 || uc != bc || ub != bb {
+		t.Errorf("batched CBR diverged from separate sources: (%d,%d) vs (%d,%d)", uc, ub, bc, bb)
+	}
+}
+
+// TestBuilderBatchRejectsRandomSources pins the gating: batching a
+// source whose per-flow behaviour needs its own RNG fork is a Build
+// error, not a silent approximation.
+func TestBuilderBatchRejectsRandomSources(t *testing.T) {
+	for _, kind := range []SourceKind{PoissonSource, OnOffSource} {
+		b := NewBuilder(1)
+		var sink packet.Sink
+		b.Handler("sink", &sink)
+		b.Source("s", SourceSpec{Kind: kind, Rate: units.Mbps, Flow: 9, Batch: 2,
+			MeanOn: units.Millisecond, MeanOff: units.Millisecond, To: "sink"})
+		if _, err := b.Build(); err == nil {
+			t.Errorf("kind %d: batched random source built without error", kind)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/client"
+	"repro/internal/flowbatch"
 	"repro/internal/link"
 	"repro/internal/node"
 	"repro/internal/packet"
@@ -100,6 +101,16 @@ type MultiFlowConfig struct {
 	// align; default 331 ms per flow (coprime-ish with the frame
 	// interval).
 	Stagger units.Time
+
+	// Batch replaces the N server.Paced instances and their per-flow
+	// access-link + jitter chains with one flowbatch.BatchedPaced that
+	// fans a shared cached emission schedule out as N phase-offset
+	// virtual flows. Policers, the bottleneck, the demux and the
+	// per-flow clients are declared identically, so a batched build is
+	// byte-identical to an unbatched one (the experiment package's
+	// differential harness pins this) while paying the source-side
+	// cost once instead of N times.
+	Batch bool
 }
 
 func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
@@ -121,16 +132,20 @@ func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
 	return c
 }
 
-// MultiFlow is a built N-flow experiment.
+// MultiFlow is a built N-flow experiment. Exactly one of Servers
+// (unbatched: one paced server per flow) or Batched (one fan-out
+// source covering every flow) is populated.
 type MultiFlow struct {
 	Sim        *sim.Simulator
 	Net        *Network
 	Servers    []*server.Paced
+	Batched    *flowbatch.BatchedPaced
 	Clients    []*client.UDP
 	Policers   []*tokenbucket.Policer
 	Bottleneck *link.Link
 
 	enc     *video.Encoding
+	n       int
 	stagger units.Time
 }
 
@@ -147,7 +162,7 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	b := NewBuilder(cfg.Seed)
 	b.UsePool(cfg.Pool)
 	b.UseTrace(cfg.Trace)
-	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, stagger: cfg.Stagger}
+	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, n: cfg.N, stagger: cfg.Stagger}
 
 	// Receive side: one client per flow behind a demux router; cross
 	// traffic that crosses the bottleneck is absorbed by the default
@@ -173,14 +188,20 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 		Sched: cfg.Sched.spec(400), To: "demux",
 	})
 
-	// Send side, one chain per flow.
+	// Send side: per-flow edge policers, and — unbatched — one
+	// dedicated access-link + jitter chain per flow. A batched build
+	// declares only the policers; the chain is folded (exactly) into
+	// the fan-out source below.
 	for i := 0; i < cfg.N; i++ {
 		pol := fmt.Sprintf("policer%d", i)
+		b.Policer(pol, cfg.TokenRate, cfg.Depth, packet.EF, "bottleneck")
+		if cfg.Batch {
+			continue
+		}
 		jit := fmt.Sprintf("jit%d", i)
 		hub := fmt.Sprintf("hub%d", i)
-		b.Policer(pol, cfg.TokenRate, cfg.Depth, packet.EF, "bottleneck")
-		b.Jitter(jit, 3*units.Millisecond, pol)
-		b.Link(hub, LinkSpec{Rate: 100 * units.Mbps, Delay: 500 * units.Microsecond,
+		b.Jitter(jit, accessJitterMax, pol)
+		b.Link(hub, LinkSpec{Rate: accessRate, Delay: accessDelay,
 			Sched: PlainFIFO(0), To: jit})
 	}
 
@@ -203,24 +224,57 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	m.Bottleneck = net.Link("bottleneck")
 	for i := 0; i < cfg.N; i++ {
 		m.Policers = append(m.Policers, net.Policer(fmt.Sprintf("policer%d", i)))
+		if cfg.Batch {
+			continue
+		}
 		m.Servers = append(m.Servers, &server.Paced{
 			Sim: m.Sim, Enc: cfg.Enc, Flow: flowID(i),
 			Next: net.Handler(fmt.Sprintf("hub%d", i)),
 			Pool: net.Pool,
 		})
 	}
+	if cfg.Batch {
+		nexts := make([]packet.Handler, cfg.N)
+		for i := range nexts {
+			nexts[i] = net.Handler(fmt.Sprintf("policer%d", i))
+		}
+		m.Batched = &flowbatch.BatchedPaced{
+			Sim: m.Sim, Sched: flowbatch.CachedPacedSchedule(cfg.Enc),
+			N: cfg.N, BaseFlow: VideoFlow, Offset: cfg.Stagger,
+			Chain: flowbatch.ChainSpec{
+				AccessRate: accessRate, AccessDelay: accessDelay,
+				JitterMax: accessJitterMax,
+			},
+			Next: nexts, Pool: net.Pool,
+		}
+		if cfg.Trace != nil {
+			m.Batched.Tap, m.Batched.Hop = cfg.Trace, cfg.Trace.Hop("vflows")
+		}
+	}
 	return m
 }
 
-// Run starts every server (staggered) and executes the simulation to
+// Per-flow access chain parameters, shared by the unbatched element
+// declarations and the batched fold so the two builds stay
+// byte-identical.
+const (
+	accessRate      = 100 * units.Mbps
+	accessDelay     = 500 * units.Microsecond
+	accessJitterMax = 3 * units.Millisecond
+)
+
+// Run starts every flow (staggered) and executes the simulation to
 // completion.
 func (m *MultiFlow) Run() {
+	if m.Batched != nil {
+		m.Batched.Start()
+	}
 	for i, srv := range m.Servers {
 		srv := srv
 		m.Sim.At(units.Time(int64(i))*m.stagger, srv.Start)
 	}
 	horizon := units.FromSeconds(m.enc.Clip.DurationSeconds()+30) +
-		units.Time(int64(len(m.Servers)))*m.stagger
+		units.Time(int64(m.n))*m.stagger
 	m.Sim.SetHorizon(horizon)
 	m.Sim.Run()
 	for _, cl := range m.Clients {
