@@ -7,6 +7,7 @@ package repro_test
 // the full-resolution versions.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiment"
@@ -267,6 +268,112 @@ func BenchmarkConceal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = render.Conceal(tr, render.DefaultOptions())
+	}
+}
+
+// --- Calendar-queue bucket-width matrix ---
+
+// benchBucketWidth keeps a 512-event working set live in a simulator
+// built with an explicit calendar bucket width, each firing event
+// rescheduling itself by the pattern's next inter-event gap. The
+// matrix (pattern × width) maps where the calendar degrades: dense
+// patterns punish wide buckets (long intra-bucket scans), sparse ones
+// punish narrow buckets (empty-bucket walks), bimodal ones stress the
+// overflow path. Width is a pure performance knob — firing order is
+// identical at every width (the sim package's width-invariance test
+// pins that) — so this matrix is the evidence behind the default.
+func benchBucketWidth(b *testing.B, width units.Time, gap func(i int) units.Time) {
+	s := sim.NewWithBucketWidth(1, width)
+	const working = 512
+	fired, scheduled := 0, 0
+	var tick func()
+	tick = func() {
+		fired++
+		if scheduled < b.N {
+			scheduled++
+			s.After(gap(scheduled), tick)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < working && scheduled < b.N; i++ {
+		scheduled++
+		s.After(gap(i), tick)
+	}
+	s.Run()
+	if fired != scheduled {
+		b.Fatalf("fired %d of %d", fired, scheduled)
+	}
+}
+
+// BenchmarkCalendarBucketWidth is the pattern × width matrix.
+func BenchmarkCalendarBucketWidth(b *testing.B) {
+	patterns := []struct {
+		name string
+		gap  func(i int) units.Time
+	}{
+		// Dense: sub-bucket gaps at the default width — many events per
+		// bucket, the intra-bucket ordered-insert path dominates.
+		{"dense", func(i int) units.Time {
+			return units.Time(i%23+1) * units.Microsecond
+		}},
+		// Sparse: multi-millisecond gaps — most buckets empty, the
+		// empty-bucket advance path dominates.
+		{"sparse", func(i int) units.Time {
+			return units.Time(i%11+5) * units.Millisecond
+		}},
+		// Bimodal: microsecond bursts separated by 20 ms silences — the
+		// link-lattice-plus-frame-interval shape real runs produce.
+		{"bimodal", func(i int) units.Time {
+			if i%64 == 0 {
+				return 20 * units.Millisecond
+			}
+			return units.Time(i%3+1) * units.Microsecond
+		}},
+	}
+	widths := []struct {
+		name string
+		w    units.Time
+	}{
+		{"w=1us", units.Microsecond},
+		{"w=50us", 50 * units.Microsecond},
+		{"w=default", sim.DefaultBucketWidth},
+		{"w=4ms", 4 * units.Millisecond},
+	}
+	for _, p := range patterns {
+		for _, w := range widths {
+			p, w := p, w
+			b.Run(p.name+"/"+w.name, func(b *testing.B) {
+				benchBucketWidth(b, w.w, p.gap)
+			})
+		}
+	}
+}
+
+// BenchmarkNFlowWideSharded runs one nflow-wide grid point (batched,
+// 24 Mbps bottleneck, 53 ms stagger) at increasing intra-run shard
+// counts. The shards=1 row is the serial baseline; the speedup at 4
+// shards on N=512 is the headline number BENCH_PR6.json records, with
+// byte-identical output pinned by the shardeq harness.
+func BenchmarkNFlowWideSharded(b *testing.B) {
+	enc := video.CachedCBR(video.Lost(), 1.0e6)
+	for _, n := range []int{128, 512} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			n, shards := n, shards
+			b.Run(fmt.Sprintf("N=%d/shards=%d", n, shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+						Seed: experiment.DefaultSeed, Enc: enc, N: n,
+						TokenRate: 1.3e6, Depth: 4500, BottleneckRate: 24e6,
+						BELoad: 0.15, Stagger: 53 * units.Millisecond,
+						Batch: true, Shards: shards,
+					})
+					m.Run()
+					if m.Bottleneck.Sent == 0 {
+						b.Fatal("bottleneck carried nothing")
+					}
+				}
+			})
+		}
 	}
 }
 

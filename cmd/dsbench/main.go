@@ -7,6 +7,7 @@
 //	dsbench -run fig7,fig15,table2
 //	dsbench -scenario fig9            # one registered scenario
 //	dsbench -parallel 8               # worker-pool size (0 = all cores)
+//	dsbench -shards 4                 # intra-run sharding per simulation
 //	dsbench -scale 4                  # thin token sweeps for a quick pass
 //	dsbench -json BENCH.json          # machine-readable scenario results
 //	dsbench -scenario tandem -trace traces/   # dump per-point packet traces
@@ -53,6 +54,12 @@ var plotMode bool
 // parallelism is set by the -parallel flag; 0 means GOMAXPROCS.
 var parallelism int
 
+// shardCount is set by the -shards flag; > 1 runs each scenario
+// point's simulation on the intra-run sharded pipeline. Output is
+// byte-identical at any value (the shardeq harness pins this); the
+// knob trades cores-per-point against points-in-flight.
+var shardCount int
+
 // jsonPath is set by the -json flag; scenario artifacts then record
 // machine-readable results (points, wall time, parallelism) that main
 // writes out at exit, so BENCH_*.json perf trajectories can accumulate
@@ -81,6 +88,12 @@ type jsonPoint struct {
 	// grows is the recorded sublinearity evidence.
 	Events       uint64 `json:"events,omitempty"`
 	VirtualFlows int    `json:"virtual_flows,omitempty"`
+	// Shards and ShardStallRatio describe the intra-run sharded
+	// pipeline when -shards ran the point on it: the effective worker
+	// count and the fraction of border replay wall-clock spent blocked
+	// on shard chunks.
+	Shards          int     `json:"shards,omitempty"`
+	ShardStallRatio float64 `json:"shard_stall_ratio,omitempty"`
 }
 
 type jsonSeries struct {
@@ -93,7 +106,12 @@ type scenarioRecord struct {
 	Title    string  `json:"title"`
 	Parallel int     `json:"parallel"`
 	Scale    int     `json:"scale"`
-	WallMS   float64 `json:"wall_ms"`
+	// Shards is the requested intra-run shard count (-shards);
+	// ShardStallRatio averages the per-point border stall fractions of
+	// the points that actually ran sharded.
+	Shards          int     `json:"shards,omitempty"`
+	ShardStallRatio float64 `json:"shard_stall_ratio,omitempty"`
+	WallMS          float64 `json:"wall_ms"`
 	// Events is the total simulator events executed across every point
 	// of the scenario; EventsPerSec = Events / wall time is the
 	// throughput number the perf trajectory tracks, and AllocsPerEvent
@@ -114,20 +132,31 @@ type scenarioRecord struct {
 func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale int, allocs uint64) scenarioRecord {
 	rec := scenarioRecord{
 		Name: name, Title: fig.Title, Parallel: parallelism, Scale: scale,
+		Shards: shardCount,
 		WallMS: float64(wall.Microseconds()) / 1000,
 	}
+	var stallSum float64
+	var stallN int
 	for _, s := range fig.Series {
 		js := jsonSeries{Label: s.Label}
 		for _, p := range s.Points {
 			rec.Events += p.Events
 			rec.VirtualFlows += p.VFlows
+			if p.Shards > 1 {
+				stallSum += p.StallRatio
+				stallN++
+			}
 			js.Points = append(js.Points, jsonPoint{
 				TokenRateBps: float64(p.TokenRate), DepthBytes: int64(p.Depth),
 				Label: p.Label, FrameLoss: p.FrameLoss, Quality: p.Quality,
 				PacketLoss: p.PacketLoss, Events: p.Events, VirtualFlows: p.VFlows,
+				Shards: p.Shards, ShardStallRatio: p.StallRatio,
 			})
 		}
 		rec.Series = append(rec.Series, js)
+	}
+	if stallN > 0 {
+		rec.ShardStallRatio = stallSum / float64(stallN)
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		rec.EventsPerSec = float64(rec.Events) / secs
@@ -184,7 +213,9 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 			tr = &experiment.TraceRequest{Dir: traceDir, Config: traceCfg}
 		}
 		start := time.Now()
-		fig := experiment.RunScenarioTrace(sc, parallelism, tr)
+		fig := experiment.RunScenarioOpts(sc, experiment.RunOptions{
+			Parallel: parallelism, Trace: tr, Shards: shardCount,
+		})
 		wall := time.Since(start)
 		if jsonPath != "" {
 			var msAfter runtime.MemStats
@@ -276,6 +307,8 @@ func main() {
 	run := flag.String("run", "all", "comma-separated artifact names, or 'all'")
 	scenario := flag.String("scenario", "", "run one registered scenario by name (see -list)")
 	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 1,
+		"intra-run shard count per simulation (1 = serial; output is identical at any value)")
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	jsonFlag := flag.String("json", "", "write per-scenario results as JSON to this file (\"-\" = stdout)")
@@ -289,6 +322,7 @@ func main() {
 	flag.Parse()
 	plotMode = *plot
 	parallelism = *parallel
+	shardCount = *shards
 	jsonPath = *jsonFlag
 	traceDir = *trace
 	traceCfg = ptrace.Config{Capacity: *traceCap, Head: *traceHead, Sample: *traceSample}

@@ -38,6 +38,25 @@
 // is what lets the nflow-wide scenario sweep N ∈ {16..512} with
 // events per virtual flow falling as N grows.
 //
+// One big run can additionally be sharded across workers ("dsbench
+// -shards K", MultiFlowConfig.Shards / TandemConfig.Shards) with
+// byte-identical output. Sources partition round-robin into K shards
+// — batched virtual flows advance as time-shifted replays of one
+// shared base arrival sequence (flowbatch.BaseArrivals; the
+// access-chain recurrence is shift-invariant), unbatched chains clone
+// server+access-link onto shard-private simulators — and advance
+// under a conservative lookahead window derived from the minimum
+// latency of the access chain feeding the shared border, which is
+// sound because the topologies are feed-forward. A central sequencer
+// draws the root-RNG jitter stream at exactly the serial positions,
+// and the border simulator replays shard emissions in exact global
+// (time, flow) order, firing its own events strictly before each
+// emission instant, so figures, per-flow statistics, policer
+// verdicts and the merged packet trace are bit-equal to the serial
+// run at every shard count — pinned by the shardeq differential
+// harness in internal/experiment and internal/topology. Unlike flow
+// batching, sharding has no large-N divergence boundary.
+//
 // Below the frame layer, the packet tracing subsystem (ptrace) makes
 // the datapath observable: every component carries a nil-by-default
 // Tap emitting compact value-type events — link enqueue/tx/deliver,

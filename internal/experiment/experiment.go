@@ -70,6 +70,17 @@ type Point struct {
 	// events-per-virtual-flow scaling metric counts each simulation
 	// once.
 	VFlows int
+
+	// Shards is the effective intra-run shard count the point's
+	// simulations executed with (1 for serial runs, 0 for scenarios
+	// that do not report it). Diagnostic only — sharding never changes
+	// figure output.
+	Shards int
+	// StallRatio is the border goroutine's blocked fraction when the
+	// point ran sharded (averaged across seed-averaged runs): near 0
+	// means the border replay dominates, near 1 means the shard
+	// workers do.
+	StallRatio float64
 }
 
 // rowLabel is what the figure table prints in the first column.
@@ -237,7 +248,7 @@ func averagePoint(ctx *Ctx, tok units.BitRate, depth units.ByteSize, seed uint64
 	if runs <= 1 {
 		return run(ctx, seed)
 	}
-	untraced := &Ctx{Pool: ctx.Pool}
+	untraced := &Ctx{Pool: ctx.Pool, Shards: ctx.Shards}
 	var acc Point
 	for r := 0; r < runs; r++ {
 		c := untraced
@@ -250,11 +261,14 @@ func averagePoint(ctx *Ctx, tok units.BitRate, depth units.ByteSize, seed uint64
 		acc.PacketLoss += p.PacketLoss
 		acc.Calibration += p.Calibration
 		acc.Events += p.Events
+		acc.Shards = p.Shards
+		acc.StallRatio += p.StallRatio
 	}
 	acc.TokenRate, acc.Depth = tok, depth
 	acc.FrameLoss /= float64(runs)
 	acc.Quality /= float64(runs)
 	acc.PacketLoss /= float64(runs)
+	acc.StallRatio /= float64(runs)
 	return acc
 }
 

@@ -27,6 +27,7 @@ func init() {
 func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encoding, label, traceLabel string, tok units.BitRate, depth units.ByteSize) Point {
 	rec := ctx.NewRecorder()
 	cfg.Trace = rec
+	cfg.Shards = ctx.Shards
 	m := topology.BuildMultiFlow(cfg)
 	m.Run()
 	if err := ctx.SaveTrace(traceLabel, rec); err != nil {
@@ -44,8 +45,12 @@ func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encodi
 	pt.FrameLoss /= n
 	pt.Quality /= n
 	pt.PacketLoss = m.AggregatePolicerLoss()
-	pt.Events = m.Sim.Fired()
+	// A sharded run splits the event count between the border simulator
+	// and the shard-private ones; the sum is the comparable total.
+	pt.Events = m.Sim.Fired() + m.Stats.ShardFired
 	pt.VFlows = len(pt.Flows)
+	pt.Shards = m.Stats.Shards
+	pt.StallRatio = m.Stats.StallRatio
 	return pt
 }
 

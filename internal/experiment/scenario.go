@@ -49,6 +49,13 @@ type Job func(ctx *Ctx) Point
 type Ctx struct {
 	Pool  *packet.Pool
 	Trace *TraceRequest
+
+	// Shards is the intra-run shard count each job should request from
+	// its topology (dsbench -shards). <= 1 runs every simulation
+	// serially; the assembled figure is byte-identical either way (the
+	// shardeq harness pins this), so the knob trades cores-per-job
+	// against jobs-in-flight without touching results.
+	Shards int
 }
 
 // NewRecorder returns a bounded packet-trace recorder per the run's
@@ -148,7 +155,30 @@ func RunScenario(s Scenario, parallel int) *Figure {
 // trace request (dsbench -trace). Tracing is pure observation: the
 // assembled figure is byte-identical with tr nil or set.
 func RunScenarioTrace(s Scenario, parallel int, tr *TraceRequest) *Figure {
-	if tr != nil {
+	return RunScenarioOpts(s, RunOptions{Parallel: parallel, Trace: tr})
+}
+
+// RunOptions bundles the execution knobs of a scenario run. The
+// zero value is the default serial-result configuration: a
+// GOMAXPROCS-sized job pool, no tracing, serial (unsharded) jobs.
+type RunOptions struct {
+	// Parallel is the job-pool size (<= 0 means GOMAXPROCS, 1 strictly
+	// serial).
+	Parallel int
+	// Trace requests per-point packet traces.
+	Trace *TraceRequest
+	// Shards asks each job to run its simulation on the intra-run
+	// sharded pipeline with this many shards (<= 1 serial). Results
+	// are byte-identical at any value.
+	Shards int
+}
+
+// RunScenarioOpts executes the scenario's jobs under the given
+// options and assembles the figure. This is the single execution path
+// for every figure: parallelism level, tracing, and intra-run
+// sharding never change the assembled result.
+func RunScenarioOpts(s Scenario, opts RunOptions) *Figure {
+	if tr := opts.Trace; tr != nil {
 		tr.scenario = s.Name()
 		if err := os.MkdirAll(tr.Dir, 0o755); err != nil {
 			panic(fmt.Sprintf("experiment: trace dir: %v", err))
@@ -159,8 +189,10 @@ func RunScenarioTrace(s Scenario, parallel int, tr *TraceRequest) *Figure {
 	for i, j := range jobs {
 		fns[i] = j
 	}
-	newCtx := func() *Ctx { return &Ctx{Pool: packet.NewPool(), Trace: tr} }
-	return s.Assemble(runner.MapArena(parallel, newCtx, fns))
+	newCtx := func() *Ctx {
+		return &Ctx{Pool: packet.NewPool(), Trace: opts.Trace, Shards: opts.Shards}
+	}
+	return s.Assemble(runner.MapArena(opts.Parallel, newCtx, fns))
 }
 
 // The scenario registry. Scenarios register at init time (figures.go);

@@ -1,0 +1,234 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ptrace"
+	"repro/internal/topology"
+	"repro/internal/video"
+)
+
+// The sharding differential harness: an intra-run sharded grid point
+// must be byte-identical to the serial one — same per-flow delivered
+// packet and byte counts, same per-flow policer verdicts, same
+// bottleneck totals, bit-equal quality figures, and an identical
+// canonicalized .ptrace capture. This is the contract that makes
+// `dsbench -shards` a pure throughput knob: the figure a sharded run
+// assembles is the figure a serial run assembles, at every shard
+// count. The tie standard is the flow-batching one (see
+// internal/flowbatch): exact same-instant collisions between an
+// injected delivery and a native border event are measure-zero on the
+// tested grids.
+
+// shardTrace builds the bounded verdict-masked recorder every harness
+// run records into; canonicalized, two equivalent runs encode to
+// identical bytes despite the process-global packet-id counters.
+func shardTrace() *ptrace.Recorder {
+	return ptrace.NewRecorder(ptrace.Config{Capacity: 1 << 16, Kinds: ptrace.VerdictKinds()})
+}
+
+func shardTraceBytes(t *testing.T, rec *ptrace.Recorder) []byte {
+	t.Helper()
+	d := rec.Data()
+	ptrace.CanonicalizePacketIDs(d)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runShardedNFlowPoint builds and runs one multi-flow grid point at
+// the given scenario spec's configuration with the given shard count
+// (0 serial), recording a canonicalized trace.
+func runShardedNFlowPoint(t *testing.T, spec MultiFlowSpec, n, shards int) (*topology.MultiFlow, []Evaluation, []byte) {
+	t.Helper()
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	rec := shardTrace()
+	m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+		Seed: spec.Seed, Enc: enc, N: n,
+		TokenRate: spec.TokenRate, Depth: spec.Depth,
+		BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+		BELoad: spec.BELoad, Batch: spec.Batch, Stagger: spec.Stagger,
+		Trace: rec, Shards: shards,
+	})
+	m.Run()
+	evs := make([]Evaluation, n)
+	for i, cl := range m.Clients {
+		evs[i] = Evaluate(cl.Trace(), enc, enc)
+	}
+	return m, evs, shardTraceBytes(t, rec)
+}
+
+// requireMultiFlowIdentical asserts the full byte-compare set between
+// a serial reference run and a sharded run of the same point.
+func requireMultiFlowIdentical(t *testing.T, label string, ref, got *topology.MultiFlow, refEv, gotEv []Evaluation, refTrace, gotTrace []byte) {
+	t.Helper()
+	for i := range ref.Clients {
+		if ref.Clients[i].Packets != got.Clients[i].Packets ||
+			ref.Clients[i].PacketsBytes != got.Clients[i].PacketsBytes {
+			t.Errorf("%s: flow %d delivered: serial %d pkts/%d B, sharded %d pkts/%d B",
+				label, i, ref.Clients[i].Packets, ref.Clients[i].PacketsBytes,
+				got.Clients[i].Packets, got.Clients[i].PacketsBytes)
+		}
+		ps, pg := ref.Policers[i], got.Policers[i]
+		if ps.Passed != pg.Passed || ps.Dropped != pg.Dropped ||
+			ps.PassedBytes != pg.PassedBytes || ps.DroppedBytes != pg.DroppedBytes {
+			t.Errorf("%s: flow %d policer: serial pass=%d drop=%d (%d/%d B), sharded pass=%d drop=%d (%d/%d B)",
+				label, i, ps.Passed, ps.Dropped, ps.PassedBytes, ps.DroppedBytes,
+				pg.Passed, pg.Dropped, pg.PassedBytes, pg.DroppedBytes)
+		}
+		if refEv[i] != gotEv[i] {
+			t.Errorf("%s: flow %d evaluation diverged:\nserial  %+v\nsharded %+v",
+				label, i, refEv[i], gotEv[i])
+		}
+	}
+	if ref.Bottleneck.Sent != got.Bottleneck.Sent ||
+		ref.Bottleneck.SentBytes != got.Bottleneck.SentBytes {
+		t.Errorf("%s: bottleneck: serial %d pkts/%d B, sharded %d pkts/%d B",
+			label, ref.Bottleneck.Sent, ref.Bottleneck.SentBytes,
+			got.Bottleneck.Sent, got.Bottleneck.SentBytes)
+	}
+	if !bytes.Equal(refTrace, gotTrace) {
+		t.Errorf("%s: canonicalized .ptrace captures differ (%d vs %d bytes)",
+			label, len(refTrace), len(gotTrace))
+	}
+}
+
+// TestShardedNFlowEquivalence pins sharded == serial on the nflow
+// (unbatched, chain-clone mode) grid at 2–8 shards.
+func TestShardedNFlowEquivalence(t *testing.T) {
+	t.Parallel()
+	spec := NFlowSweepSpec()
+	for _, n := range []int{3, 6} {
+		n := n
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			t.Parallel()
+			ref, refEv, refTrace := runShardedNFlowPoint(t, spec, n, 0)
+			for _, shards := range []int{2, 3, 8} {
+				got, gotEv, gotTrace := runShardedNFlowPoint(t, spec, n, shards)
+				if want := min(shards, n); got.Stats.Shards != want {
+					t.Errorf("shards=%d: effective worker count %d, want %d",
+						shards, got.Stats.Shards, want)
+				}
+				requireMultiFlowIdentical(t, fmt.Sprintf("shards=%d", shards),
+					ref, got, refEv, gotEv, refTrace, gotTrace)
+			}
+		})
+	}
+}
+
+// TestShardedNFlowWideEquivalence pins sharded == serial on the
+// nflow-wide (batched, three-stage pipeline) grid at 2–8 shards.
+func TestShardedNFlowWideEquivalence(t *testing.T) {
+	t.Parallel()
+	spec := NFlowWideSpec()
+	ns := []int{16}
+	if !testing.Short() {
+		ns = append(ns, 64)
+	}
+	for _, n := range ns {
+		n := n
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			t.Parallel()
+			ref, refEv, refTrace := runShardedNFlowPoint(t, spec, n, 0)
+			for _, shards := range []int{2, 4, 8} {
+				got, gotEv, gotTrace := runShardedNFlowPoint(t, spec, n, shards)
+				requireMultiFlowIdentical(t, fmt.Sprintf("shards=%d", shards),
+					ref, got, refEv, gotEv, refTrace, gotTrace)
+			}
+		})
+	}
+}
+
+// TestShardedTandemEquivalence pins sharded == serial on the tandem
+// grid: one partitionable chain, so every requested count collapses
+// to one worker plus the border — still byte-identical.
+func TestShardedTandemEquivalence(t *testing.T) {
+	t.Parallel()
+	spec := TandemSweepSpec()
+	enc := video.CachedCBR(spec.Clip, spec.EncRate)
+	run := func(tok int, shards int) (*topology.Tandem, Evaluation, []byte) {
+		rec := shardTrace()
+		tn := topology.BuildTandem(topology.TandemConfig{
+			Seed: spec.Seed, Enc: enc,
+			TokenRate: spec.Tokens[tok], Depth: spec.Depth,
+			SecondBorder: true, Trace: rec, Shards: shards,
+		})
+		tn.Run()
+		return tn, Evaluate(tn.Client.Trace(), enc, enc), shardTraceBytes(t, rec)
+	}
+	for _, tok := range []int{0, len(spec.Tokens) - 1} {
+		ref, refEv, refTrace := run(tok, 0)
+		for _, shards := range []int{2, 8} {
+			got, gotEv, gotTrace := run(tok, shards)
+			label := fmt.Sprintf("tok=%d shards=%d", tok, shards)
+			if refEv != gotEv {
+				t.Errorf("%s: evaluation diverged:\nserial  %+v\nsharded %+v", label, refEv, gotEv)
+			}
+			if ref.Border1.Passed != got.Border1.Passed || ref.Border1.Dropped != got.Border1.Dropped ||
+				ref.Border2.Passed != got.Border2.Passed || ref.Border2.Dropped != got.Border2.Dropped {
+				t.Errorf("%s: border verdicts diverged", label)
+			}
+			if ref.Client.Packets != got.Client.Packets ||
+				ref.Client.PacketsBytes != got.Client.PacketsBytes {
+				t.Errorf("%s: client delivered %d pkts/%d B, want %d/%d", label,
+					got.Client.Packets, got.Client.PacketsBytes,
+					ref.Client.Packets, ref.Client.PacketsBytes)
+			}
+			if !bytes.Equal(refTrace, gotTrace) {
+				t.Errorf("%s: canonicalized .ptrace captures differ", label)
+			}
+		}
+	}
+}
+
+// TestShardsKnobReachesJobs pins the plumbing from RunOptions through
+// Ctx into the topology configs: a sharded scenario job reports its
+// effective shard count and stays figure-identical to the serial job.
+func TestShardsKnobReachesJobs(t *testing.T) {
+	t.Parallel()
+	spec := NFlowWideSpec()
+	spec.Ns = []int{8}
+	serial := spec.Jobs()[0](&Ctx{})
+	sharded := spec.Jobs()[0](&Ctx{Shards: 4})
+	if sharded.Shards != 4 {
+		t.Errorf("sharded point reports Shards=%d, want 4", sharded.Shards)
+	}
+	if serial.Shards != 1 {
+		t.Errorf("serial point reports Shards=%d, want 1", serial.Shards)
+	}
+	if serial.Quality != sharded.Quality || serial.FrameLoss != sharded.FrameLoss ||
+		serial.PacketLoss != sharded.PacketLoss {
+		t.Errorf("sharded job diverged from serial:\nserial  %+v\nsharded %+v",
+			serial.Evaluation, sharded.Evaluation)
+	}
+	for i := range serial.Flows {
+		if serial.Flows[i] != sharded.Flows[i] {
+			t.Errorf("flow %d evaluation diverged under sharding", i)
+		}
+	}
+	// The tandem job path plumbs the knob through averagePoint's
+	// untraced sibling contexts too.
+	tspec := TandemSweepSpec()
+	tspec.Tokens = tspec.Tokens[:1]
+	tspec.Runs = 2
+	ts := tspec.Jobs()[0](&Ctx{})
+	tg := tspec.Jobs()[0](&Ctx{Shards: 2})
+	if tg.Shards != 1 {
+		t.Errorf("tandem sharded point reports Shards=%d, want 1 (single chain)", tg.Shards)
+	}
+	if ts.Quality != tg.Quality || ts.FrameLoss != tg.FrameLoss || ts.PacketLoss != tg.PacketLoss {
+		t.Errorf("tandem sharded job diverged from serial:\nserial  %+v\nsharded %+v",
+			ts.Evaluation, tg.Evaluation)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -28,13 +28,16 @@
 // race across virtual flows. The multi-flow topology satisfies both;
 // internal/experiment's differential harness pins the equivalence at
 // N ≤ 8 on the nflow grid and through N = 32 on the wide
-// configuration (empirically exact through N = 64). At larger N the
-// phase-offset lattice eventually produces an exact same-instant
+// configuration (empirically exact through N = 96). At larger N the
+// phase-offset lattice eventually realizes an exact same-instant
 // cross-flow coincidence; the fan-out resolves it in deterministic
 // (time, flow) order where a real event queue resolves it in
 // scheduling-sequence order, so past that point a batched run is a
 // statistically equivalent sample of the same chaotic saturated
-// system rather than a bit-equal one. Batching is approximate for
+// system rather than a bit-equal one. N = 128 is the first wide grid
+// point where that divergence is realized under the default seed —
+// TestBatchedWideTieDivergence in internal/experiment pins both
+// sides of the boundary as a regression witness. Batching is approximate for
 // topologies where batched flows share a pre-policer queue with other
 // traffic, and unsupported for random (Poisson, on-off) sources,
 // whose per-flow RNG forks cannot be reproduced by one shared stream.

@@ -65,6 +65,16 @@ type Router struct {
 	rules    []*Rule
 	deflt    packet.Handler
 	Received int
+
+	// flowIdx is the exact-match fast path: while every rule is a
+	// FlowMatch on a distinct flow, first-match-wins degenerates to a
+	// single map lookup. The wide demux router of the scaling scenarios
+	// carries one rule per flow, and the linear scan there is O(flows)
+	// per packet — a top profile entry at N=512. Any rule that breaks
+	// the precondition (non-FlowMatch classifier, duplicate flow)
+	// disables the index permanently and Handle falls back to the scan.
+	flowIdx map[packet.FlowID]*Rule
+	noIdx   bool
 }
 
 // NewRouter returns a router whose unmatched traffic goes to deflt.
@@ -89,12 +99,33 @@ func (r *Router) SetDefault(h packet.Handler) {
 func (r *Router) AddRule(name string, m Classifier, action packet.Handler) *Rule {
 	rule := &Rule{Name: name, Match: m, Action: action}
 	r.rules = append(r.rules, rule)
+	if !r.noIdx {
+		if f, ok := m.(FlowMatch); ok {
+			if r.flowIdx == nil {
+				r.flowIdx = make(map[packet.FlowID]*Rule)
+			}
+			if _, dup := r.flowIdx[packet.FlowID(f)]; !dup {
+				r.flowIdx[packet.FlowID(f)] = rule
+				return rule
+			}
+		}
+		r.noIdx, r.flowIdx = true, nil
+	}
 	return rule
 }
 
 // Handle classifies p and runs the first matching action.
 func (r *Router) Handle(p *packet.Packet) {
 	r.Received++
+	if r.flowIdx != nil {
+		if rule, ok := r.flowIdx[p.Flow]; ok {
+			rule.Hits++
+			rule.Action.Handle(p)
+			return
+		}
+		r.deflt.Handle(p)
+		return
+	}
 	for _, rule := range r.rules {
 		if rule.Match.Match(p) {
 			rule.Hits++

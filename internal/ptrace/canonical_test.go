@@ -1,0 +1,61 @@
+package ptrace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestCanonicalizePacketIDs pins the relabeling contract: two captures
+// whose events are identical except for the absolute packet-id values
+// (different counter offsets, different interleaving of id allocation)
+// encode to the same bytes after canonicalization.
+func TestCanonicalizePacketIDs(t *testing.T) {
+	mk := func(ids []uint64) *Data {
+		d := &Data{Hops: []string{"", "hub"}}
+		for i, id := range ids {
+			d.Events = append(d.Events, Event{
+				T: units.Time(i) * units.Millisecond, Kind: LinkDeliver,
+				Hop: 1, Flow: 7, PktID: id, Size: 1200,
+			})
+		}
+		return d
+	}
+
+	// Same packet identity structure — a, b, a, c, b — under two
+	// unrelated absolute labelings, plus a zero (no-packet) event.
+	a := mk([]uint64{901, 44, 901, 7000, 44, 0})
+	b := mk([]uint64{12, 350, 12, 13, 350, 0})
+	CanonicalizePacketIDs(a)
+	CanonicalizePacketIDs(b)
+
+	want := []uint64{1, 2, 1, 3, 2, 0}
+	for i, ev := range a.Events {
+		if ev.PktID != want[i] {
+			t.Errorf("event %d: canonical id %d, want %d", i, ev.PktID, want[i])
+		}
+	}
+
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("canonicalized captures are not byte-identical")
+	}
+
+	// Structurally different labelings must stay distinguishable.
+	c := mk([]uint64{5, 5, 6, 7, 8, 0}) // a, a, b, c, d
+	CanonicalizePacketIDs(c)
+	var bc bytes.Buffer
+	if _, err := c.WriteTo(&bc); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Error("different packet-identity structures canonicalized to equal bytes")
+	}
+}

@@ -120,13 +120,17 @@ func (h Handle) Cancel() {
 	}
 }
 
-// numBuckets is the calendar window size. 256 buckets of bucketWidth
-// cover 64 ms — a few frame intervals of a streaming experiment —
-// which keeps per-bucket occupancy near one for packet-rate traffic.
+// numBuckets is the calendar window size. 256 buckets of the default
+// width cover 64 ms — a few frame intervals of a streaming
+// experiment — which keeps per-bucket occupancy near one for
+// packet-rate traffic.
 const numBuckets = 256
 
-// bucketWidth is the fixed calendar bucket granularity.
-const bucketWidth = 250 * units.Microsecond
+// DefaultBucketWidth is the default calendar bucket granularity. The
+// bucket-width microbenchmarks in the repo root sweep widths around
+// this value over dense, sparse and bimodal schedules; 250 µs sits on
+// the flat part of all three curves.
+const DefaultBucketWidth = 250 * units.Microsecond
 
 // Simulator owns the event structures, the virtual clock, and the
 // run's random number source. The zero value is not usable; call New.
@@ -140,6 +144,7 @@ type Simulator struct {
 	// bucket than its natural one, never a later one). Events at or
 	// beyond the window end wait in the overflow heap.
 	buckets  [numBuckets][]*Event
+	width    units.Time // bucket granularity (DefaultBucketWidth unless configured)
 	base     units.Time
 	cur      int // lowest possibly non-empty bucket
 	nBuckets int // events physically present in buckets
@@ -162,7 +167,19 @@ type Simulator struct {
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+	return NewWithBucketWidth(seed, DefaultBucketWidth)
+}
+
+// NewWithBucketWidth is New with an explicit calendar bucket
+// granularity. Bucket width is a performance knob, never a semantic
+// one: selection is always by the unique (time, seq) key, so two
+// simulators differing only in width fire the same events in the same
+// order. Non-positive widths fall back to the default.
+func NewWithBucketWidth(seed uint64, width units.Time) *Simulator {
+	if width <= 0 {
+		width = DefaultBucketWidth
+	}
+	return &Simulator{rng: NewRNG(seed), width: width}
 }
 
 // Now reports the current simulated time.
@@ -200,14 +217,14 @@ func (s *Simulator) alloc(t units.Time) *Event {
 func (s *Simulator) schedule(e *Event) {
 	s.live++
 	s.cachedMin = nil
-	end := s.base + units.Time(numBuckets)*bucketWidth
+	end := s.base + units.Time(numBuckets)*s.width
 	if e.when >= end {
 		s.heapPush(e)
 		return
 	}
 	i := 0
 	if e.when > s.base {
-		i = int((e.when - s.base) / bucketWidth)
+		i = int((e.when - s.base) / s.width)
 	}
 	if i < s.cur {
 		s.cur = i
@@ -311,14 +328,14 @@ func (s *Simulator) min() *Event {
 		}
 		s.base = s.overflow[0].when
 		s.cur = 0
-		end := s.base + units.Time(numBuckets)*bucketWidth
+		end := s.base + units.Time(numBuckets)*s.width
 		for len(s.overflow) > 0 && s.overflow[0].when < end {
 			e := s.heapPop()
 			if e.cancelled {
 				s.release(e)
 				continue
 			}
-			i := int((e.when - s.base) / bucketWidth)
+			i := int((e.when - s.base) / s.width)
 			s.buckets[i] = append(s.buckets[i], e)
 			s.nBuckets++
 		}
@@ -391,6 +408,61 @@ func (s *Simulator) RunUntil(t units.Time) units.Time {
 	s.maxT = t
 	defer func() { s.maxT = old }()
 	return s.Run()
+}
+
+// NextEventTime peeks at the earliest pending event without firing
+// it. The second result is false when nothing is pending.
+func (s *Simulator) NextEventTime() (units.Time, bool) {
+	e := s.min()
+	if e == nil {
+		return 0, false
+	}
+	return e.when, true
+}
+
+// RunBefore executes every pending event scheduled strictly before t
+// and stops, leaving events at or after t queued and the clock on the
+// last fired event (never advanced to t itself — AdvanceTo does
+// that). It ignores the horizon: the caller's bound is t. This is the
+// window primitive of the sharded execution mode: a shard drains its
+// private calendar one conservative-lookahead window at a time, and
+// the border simulator catches up to just before each injected
+// emission so the injection lands in exact (time, seq) order relative
+// to the border's own events.
+func (s *Simulator) RunBefore(t units.Time) units.Time {
+	s.halted = false
+	for !s.halted {
+		e := s.min()
+		if e == nil || e.when >= t {
+			break
+		}
+		s.popMin()
+		s.now = e.when
+		s.fired++
+		fn, tm := e.fn, e.timer
+		s.release(e)
+		if tm != nil {
+			tm.Fire(s.now)
+		} else {
+			fn()
+		}
+	}
+	return s.now
+}
+
+// AdvanceTo moves the clock forward to t without firing anything.
+// Advancing over a pending event panics — that would reorder time —
+// so callers drain with RunBefore(t) first. Advancing to the past is
+// a no-op for t == now and a panic below it, matching the scheduling
+// guard.
+func (s *Simulator) AdvanceTo(t units.Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", t, s.now))
+	}
+	if e := s.min(); e != nil && e.when < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, e.when))
+	}
+	s.now = t
 }
 
 // --- overflow heap (min by (when, seq)) ---

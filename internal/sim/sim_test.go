@@ -57,9 +57,9 @@ func TestCalendarMatchesReferenceOrder(t *testing.T) {
 		var when units.Time
 		switch rng.Intn(3) {
 		case 0:
-			when = units.Time(rng.Int63n(int64(bucketWidth)))
+			when = units.Time(rng.Int63n(int64(DefaultBucketWidth)))
 		case 1:
-			when = units.Time(rng.Int63n(int64(numBuckets * bucketWidth)))
+			when = units.Time(rng.Int63n(int64(numBuckets * DefaultBucketWidth)))
 		default:
 			when = units.Time(rng.Int63n(int64(10 * units.Second)))
 		}

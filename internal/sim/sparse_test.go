@@ -107,10 +107,10 @@ func TestCalendarRebaseInterleavedWithDense(t *testing.T) {
 		switch rng.Intn(4) {
 		case 0:
 			// Dense sub-window traffic.
-			when = units.Time(rng.Int63n(int64(numBuckets * bucketWidth)))
+			when = units.Time(rng.Int63n(int64(numBuckets * DefaultBucketWidth)))
 		case 1:
 			// Just past the window edge: migrates on the first rebase.
-			when = units.Time(numBuckets*bucketWidth) + units.Time(rng.Int63n(int64(bucketWidth)))
+			when = units.Time(numBuckets*DefaultBucketWidth) + units.Time(rng.Int63n(int64(DefaultBucketWidth)))
 		default:
 			// Long-RTO silence: seconds to minutes out.
 			when = units.Time(rng.Int63n(int64(120 * units.Second)))

@@ -111,6 +111,14 @@ type MultiFlowConfig struct {
 	// differential harness pins this) while paying the source-side
 	// cost once instead of N times.
 	Batch bool
+
+	// Shards > 1 executes the run on the intra-run sharded pipeline
+	// (see shard.go): the per-flow source chains advance on
+	// shard-private simulators under conservative lookahead windows
+	// and the border replays their emissions in exact serial order, so
+	// a sharded run is bit-identical to a serial one at any shard
+	// count (the shardeq harness pins this). <= 1 runs serially.
+	Shards int
 }
 
 func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
@@ -144,9 +152,15 @@ type MultiFlow struct {
 	Policers   []*tokenbucket.Policer
 	Bottleneck *link.Link
 
+	// Stats describes the sharded pipeline after Run when Shards > 1
+	// (Stats.Shards is 1 after a serial run).
+	Stats ShardStats
+
 	enc     *video.Encoding
 	n       int
 	stagger units.Time
+	shards  int
+	trace   *ptrace.Recorder
 }
 
 // flowID maps flow index to the packet flow id (flow 0 keeps the
@@ -162,7 +176,8 @@ func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	b := NewBuilder(cfg.Seed)
 	b.UsePool(cfg.Pool)
 	b.UseTrace(cfg.Trace)
-	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, n: cfg.N, stagger: cfg.Stagger}
+	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, n: cfg.N, stagger: cfg.Stagger,
+		shards: cfg.Shards, trace: cfg.Trace}
 
 	// Receive side: one client per flow behind a demux router; cross
 	// traffic that crosses the bottleneck is absorbed by the default
@@ -264,22 +279,57 @@ const (
 )
 
 // Run starts every flow (staggered) and executes the simulation to
-// completion.
+// completion — serially, or on the sharded pipeline when the config
+// asked for Shards > 1.
 func (m *MultiFlow) Run() {
-	if m.Batched != nil {
-		m.Batched.Start()
-	}
-	for i, srv := range m.Servers {
-		srv := srv
-		m.Sim.At(units.Time(int64(i))*m.stagger, srv.Start)
-	}
 	horizon := units.FromSeconds(m.enc.Clip.DurationSeconds()+30) +
 		units.Time(int64(m.n))*m.stagger
-	m.Sim.SetHorizon(horizon)
-	m.Sim.Run()
+	switch {
+	case m.shards > 1 && m.Batched != nil:
+		m.Stats = m.runShardedBatched(m.shards, horizon)
+	case m.shards > 1:
+		m.Stats = m.runShardedUnbatched(m.shards, horizon)
+	default:
+		if m.Batched != nil {
+			m.Batched.Start()
+		}
+		for i, srv := range m.Servers {
+			srv := srv
+			m.Sim.At(units.Time(int64(i))*m.stagger, srv.Start)
+		}
+		m.Sim.SetHorizon(horizon)
+		m.Sim.Run()
+		m.Stats = ShardStats{Shards: 1}
+	}
 	for _, cl := range m.Clients {
 		cl.Finish()
 	}
+}
+
+// runShardedUnbatched clones each flow's server + access link onto
+// shard simulators and replays their emissions into the border-side
+// jitter elements (the first root-RNG consumers, which must stay
+// serial) in exact merged order.
+func (m *MultiFlow) runShardedUnbatched(shards int, horizon units.Time) ShardStats {
+	chains := make([]sourceChain, m.n)
+	for i := 0; i < m.n; i++ {
+		chains[i] = sourceChain{
+			enc: m.enc, flow: flowID(i),
+			startAt: units.Time(int64(i)) * m.stagger,
+			rate:    accessRate, delay: accessDelay, sched: PlainFIFO(0),
+			name: fmt.Sprintf("hub%d", i),
+			next: m.Net.Handler(fmt.Sprintf("jit%d", i)),
+		}
+	}
+	st, results := runShardedChains(m.Sim, m.trace, chains, shards, horizon)
+	for _, r := range results {
+		// Mirror the clones' counters onto the idle border-side elements
+		// so post-run introspection matches a serial run.
+		copyLinkStats(m.Net.Link(chains[r.chain].name), r.link)
+		srv := m.Servers[r.chain]
+		srv.Sent, srv.SentBytes = r.server.Sent, r.server.SentBytes
+	}
+	return st
 }
 
 // AggregatePolicerLoss reports packet loss across all per-flow

@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ptrace"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// traceBytes encodes a recorder's capture with packet ids
+// canonicalized — absolute ids come from process-global counters, so
+// only the relabeled form is comparable across runs.
+func traceBytes(t *testing.T, rec *ptrace.Recorder) []byte {
+	t.Helper()
+	d := rec.Data()
+	ptrace.CanonicalizePacketIDs(d)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func shardTestRecorder() *ptrace.Recorder {
+	return ptrace.NewRecorder(ptrace.Config{Capacity: 1 << 16, Kinds: ptrace.VerdictKinds()})
+}
+
+func multiFlowShardConfig(batch bool, n int) MultiFlowConfig {
+	return MultiFlowConfig{
+		Seed: 11, Enc: video.CachedCBR(video.Lost(), 1.0e6),
+		N: n, TokenRate: 1.2e6, Depth: 3000, Batch: batch,
+	}
+}
+
+// compareMultiFlow asserts a sharded run left behind the exact
+// observable state of the serial reference.
+func compareMultiFlow(t *testing.T, label string, ref, got *MultiFlow, refTrace, gotTrace []byte) {
+	t.Helper()
+	for i := range ref.Clients {
+		if ref.Clients[i].Packets != got.Clients[i].Packets ||
+			ref.Clients[i].PacketsBytes != got.Clients[i].PacketsBytes {
+			t.Errorf("%s: client %d: %d pkts/%d B, want %d pkts/%d B", label, i,
+				got.Clients[i].Packets, got.Clients[i].PacketsBytes,
+				ref.Clients[i].Packets, ref.Clients[i].PacketsBytes)
+		}
+	}
+	for i := range ref.Policers {
+		if ref.Policers[i].Passed != got.Policers[i].Passed ||
+			ref.Policers[i].Dropped != got.Policers[i].Dropped {
+			t.Errorf("%s: policer %d: %d/%d, want %d/%d", label, i,
+				got.Policers[i].Passed, got.Policers[i].Dropped,
+				ref.Policers[i].Passed, ref.Policers[i].Dropped)
+		}
+	}
+	if ref.Bottleneck.Sent != got.Bottleneck.Sent ||
+		ref.Bottleneck.SentBytes != got.Bottleneck.SentBytes {
+		t.Errorf("%s: bottleneck %d pkts/%d B, want %d pkts/%d B", label,
+			got.Bottleneck.Sent, got.Bottleneck.SentBytes,
+			ref.Bottleneck.Sent, ref.Bottleneck.SentBytes)
+	}
+	if !bytes.Equal(refTrace, gotTrace) {
+		t.Errorf("%s: canonicalized traces are not byte-identical (%d vs %d bytes)",
+			label, len(refTrace), len(gotTrace))
+	}
+}
+
+func runMultiFlow(t *testing.T, cfg MultiFlowConfig) (*MultiFlow, []byte) {
+	t.Helper()
+	rec := shardTestRecorder()
+	cfg.Trace = rec
+	m := BuildMultiFlow(cfg)
+	m.Run()
+	if m.Stats.Shards != max(cfg.Shards, 1) && cfg.Shards <= cfg.N {
+		t.Errorf("Stats.Shards = %d after Shards=%d run", m.Stats.Shards, cfg.Shards)
+	}
+	return m, traceBytes(t, rec)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestShardedBatchedMultiFlowMatchesSerial pins the tentpole contract
+// on the batched topology: the three-stage pipeline (shard arrival
+// walks → serial jitter sequencer → border replay) is bit-identical to
+// the serial run at every shard count.
+func TestShardedBatchedMultiFlowMatchesSerial(t *testing.T) {
+	t.Parallel()
+	ref, refTrace := runMultiFlow(t, multiFlowShardConfig(true, 6))
+	if ref.Stats.Shards != 1 {
+		t.Fatalf("serial run reported %d shards", ref.Stats.Shards)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		cfg := multiFlowShardConfig(true, 6)
+		cfg.Shards = shards
+		got, gotTrace := runMultiFlow(t, cfg)
+		if got.Stats.Injected == 0 {
+			t.Errorf("shards=%d: no injections recorded", shards)
+		}
+		compareMultiFlow(t, fmt.Sprintf("batched shards=%d", shards), ref, got, refTrace, gotTrace)
+	}
+}
+
+// TestShardedUnbatchedMultiFlowMatchesSerial pins the chain-clone mode:
+// each flow's server + access link advances on a shard simulator and
+// the border replays the merged inject/trace action streams.
+func TestShardedUnbatchedMultiFlowMatchesSerial(t *testing.T) {
+	t.Parallel()
+	ref, refTrace := runMultiFlow(t, multiFlowShardConfig(false, 4))
+	for _, shards := range []int{2, 3} {
+		cfg := multiFlowShardConfig(false, 4)
+		cfg.Shards = shards
+		got, gotTrace := runMultiFlow(t, cfg)
+		compareMultiFlow(t, fmt.Sprintf("unbatched shards=%d", shards), ref, got, refTrace, gotTrace)
+		// Copy-back: the idle border-side elements must read like a
+		// serial run's.
+		for i := range ref.Servers {
+			if ref.Servers[i].Sent != got.Servers[i].Sent ||
+				ref.Servers[i].SentBytes != got.Servers[i].SentBytes {
+				t.Errorf("shards=%d: server %d sent %d/%d, want %d/%d", shards, i,
+					got.Servers[i].Sent, got.Servers[i].SentBytes,
+					ref.Servers[i].Sent, ref.Servers[i].SentBytes)
+			}
+			hub := fmt.Sprintf("hub%d", i)
+			if ref.Net.Link(hub).Sent != got.Net.Link(hub).Sent {
+				t.Errorf("shards=%d: %s sent %d, want %d", shards, hub,
+					got.Net.Link(hub).Sent, ref.Net.Link(hub).Sent)
+			}
+		}
+	}
+}
+
+// TestShardedTandemMatchesSerial pins the single-chain case: one
+// worker plus the border, still byte-identical.
+func TestShardedTandemMatchesSerial(t *testing.T) {
+	t.Parallel()
+	run := func(shards int) (*Tandem, []byte) {
+		rec := shardTestRecorder()
+		cfg := tandemConfig(true)
+		cfg.Trace = rec
+		cfg.Shards = shards
+		tn := BuildTandem(cfg)
+		tn.Run()
+		return tn, traceBytes(t, rec)
+	}
+	ref, refTrace := run(0)
+	for _, shards := range []int{2, 4} {
+		got, gotTrace := run(shards)
+		if got.Stats.Shards != 1 {
+			t.Errorf("shards=%d: effective worker count %d, want 1 (one chain)",
+				shards, got.Stats.Shards)
+		}
+		if ref.Client.Packets != got.Client.Packets ||
+			ref.Client.PacketsBytes != got.Client.PacketsBytes {
+			t.Errorf("shards=%d: client %d pkts/%d B, want %d/%d", shards,
+				got.Client.Packets, got.Client.PacketsBytes,
+				ref.Client.Packets, ref.Client.PacketsBytes)
+		}
+		if ref.Border1.Passed != got.Border1.Passed || ref.Border1.Dropped != got.Border1.Dropped ||
+			ref.Border2.Passed != got.Border2.Passed || ref.Border2.Dropped != got.Border2.Dropped {
+			t.Errorf("shards=%d: border verdicts diverge", shards)
+		}
+		if ref.Server.Sent != got.Server.Sent || ref.Server.SentBytes != got.Server.SentBytes {
+			t.Errorf("shards=%d: server copy-back %d/%d, want %d/%d", shards,
+				got.Server.Sent, got.Server.SentBytes, ref.Server.Sent, ref.Server.SentBytes)
+		}
+		if c := ref.Net.Link("campus"); c.Sent != got.Net.Link("campus").Sent {
+			t.Errorf("shards=%d: campus link copy-back %d, want %d", shards,
+				got.Net.Link("campus").Sent, c.Sent)
+		}
+		if !bytes.Equal(refTrace, gotTrace) {
+			t.Errorf("shards=%d: canonicalized traces are not byte-identical (%d vs %d bytes)",
+				shards, len(gotTrace), len(refTrace))
+		}
+	}
+}
+
+// TestShardedStaggeredStartsMatchSerial exercises the batched mode
+// with a nonzero stagger (staggered starts are what spread flows
+// across round-robin shards unevenly in time) and a wider jitter
+// horizon interaction.
+func TestShardedStaggeredStartsMatchSerial(t *testing.T) {
+	t.Parallel()
+	mk := func(shards int) MultiFlowConfig {
+		cfg := multiFlowShardConfig(true, 8)
+		cfg.Stagger = 53 * units.Millisecond
+		cfg.Shards = shards
+		return cfg
+	}
+	ref, refTrace := runMultiFlow(t, mk(0))
+	for _, shards := range []int{2, 5, 8} {
+		got, gotTrace := runMultiFlow(t, mk(shards))
+		compareMultiFlow(t, fmt.Sprintf("staggered shards=%d", shards), ref, got, refTrace, gotTrace)
+	}
+}
