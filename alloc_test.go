@@ -9,6 +9,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/flowbatch"
 	"repro/internal/link"
 	"repro/internal/packet"
@@ -265,6 +266,67 @@ func TestShardBorderMergeTracedAllocationBudget(t *testing.T) {
 	}
 	if p.src.TotalSent() == 0 || rec.Seen() == 0 {
 		t.Fatal("fixture injected nothing or tap not wired")
+	}
+}
+
+// aggregateFixture warms a class-level Aggregate receiver on a pooled
+// delivery stream with varied delays, so the P² sketch markers have
+// settled into steady-state interpolation before measurement.
+func aggregateFixture(tap *ptrace.Recorder) (*sim.Simulator, *client.Aggregate, func()) {
+	s := sim.New(1)
+	pool := packet.NewPool()
+	agg := client.NewAggregate(s)
+	agg.Pool = pool
+	if tap != nil {
+		tap.SetClock(s)
+		agg.Tap, agg.Hop = tap, tap.Hop("class")
+	}
+	var i units.Time
+	deliver := func() {
+		for k := 0; k < 8; k++ {
+			i++
+			p := pool.Get()
+			p.Size = 1200
+			p.Flow = 42
+			// A deterministic sawtooth of one-way delays in [1ms, 9ms):
+			// enough spread to keep all three sketches interpolating.
+			p.SentAt = s.Now() - units.Millisecond - (i%8)*units.Millisecond
+			agg.Handle(p)
+		}
+	}
+	for k := 0; k < 100; k++ {
+		deliver()
+	}
+	return s, agg, deliver
+}
+
+// TestAggregateDeliveryAllocationBudget pins the aggregated-stats
+// delivery path at zero allocations once warm: counting, the Welford
+// moments, and the three P² quantile sketches all run on fixed-size
+// state, and the packet returns to its pool.
+func TestAggregateDeliveryAllocationBudget(t *testing.T) {
+	_, agg, deliver := aggregateFixture(nil)
+	allocs := testing.AllocsPerRun(500, deliver)
+	if allocs != 0 {
+		t.Errorf("aggregate delivery hot path allocates %.2f/op, want 0", allocs)
+	}
+	if agg.Packets == 0 || agg.Delay.N() == 0 {
+		t.Fatal("fixture delivered nothing — budget measured an idle receiver")
+	}
+}
+
+// TestAggregateDeliveryTracedAllocationBudget pins the same path with
+// a ring Recorder attached: the per-delivery Deliver event goes into
+// preallocated storage, so the traced budget is still zero.
+func TestAggregateDeliveryTracedAllocationBudget(t *testing.T) {
+	rec := ptrace.NewRecorder(ptrace.Config{Capacity: 8192})
+	_, agg, deliver := aggregateFixture(rec)
+	allocs := testing.AllocsPerRun(500, deliver)
+	if allocs != 0 {
+		t.Errorf("traced aggregate delivery hot path allocates %.2f/op, want 0", allocs)
+	}
+	if agg.Packets == 0 || rec.Seen() == 0 {
+		t.Fatal("fixture delivered nothing or tap not wired")
 	}
 }
 

@@ -377,6 +377,44 @@ func BenchmarkNFlowWideSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetMixture runs one fleet-style mixture point — two
+// equivalence classes on the batched mixture fan-out with aggregated
+// per-class receivers — at increasing total flow counts. Events and
+// heap growing sublinearly in N here is the micro-scale version of
+// what BENCH_PR7.json records for the full nflow-fleet sweep.
+func BenchmarkFleetMixture(b *testing.B) {
+	viewers := video.CachedCBR(video.Lost(), 1.0e6)
+	elephants := video.CachedCBR(video.Dark(), 1.5e6)
+	for _, n := range []int{1000, 4000} {
+		n := n
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			vn := n * 85 / 100
+			en := n - vn
+			for i := 0; i < b.N; i++ {
+				m := topology.BuildMultiFlow(topology.MultiFlowConfig{
+					Seed: experiment.DefaultSeed,
+					Classes: []topology.FlowClass{
+						{Name: "viewers", Enc: viewers, N: vn, TokenRate: 1.3e6,
+							Truncate: units.Second,
+							Stagger:  4 * units.Second / units.Time(vn)},
+						{Name: "elephants", Enc: elephants, N: en, TokenRate: 1.95e6,
+							Truncate: units.Second, Phase: units.Millisecond,
+							Stagger: 4 * units.Second / units.Time(en)},
+					},
+					Depth: 4500, BottleneckRate: 650e6,
+					Sched: topology.PriorityBottleneck, BELoad: 0.02,
+					Batch: true, AggregateStats: true,
+					BucketWidth: 50 * units.Microsecond,
+				})
+				m.Run()
+				if m.Aggregates[0].Packets == 0 {
+					b.Fatal("viewer class delivered nothing")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkNFlowPoint contrasts one wide nflow grid point built on N
 // real paced servers (per-flow access chains, per-frame closures)
 // against the flow-batched fan-out source covering the same N virtual

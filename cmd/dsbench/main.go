@@ -38,6 +38,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/ptrace"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -57,8 +58,16 @@ var parallelism int
 // shardCount is set by the -shards flag; > 1 runs each scenario
 // point's simulation on the intra-run sharded pipeline. Output is
 // byte-identical at any value (the shardeq harness pins this); the
-// knob trades cores-per-point against points-in-flight.
+// knob trades cores-per-point against points-in-flight. Scenarios
+// whose jobs do not dispatch to a sharded pipeline are rejected up
+// front rather than silently ignoring the flag.
 var shardCount int
+
+// bucketWidth is set by the -bucket-width flag; nonzero overrides
+// every simulation's calendar-queue bucket width. A pure perf knob:
+// event order — and therefore every byte of output — is
+// width-invariant.
+var bucketWidth units.Time
 
 // jsonPath is set by the -json flag; scenario artifacts then record
 // machine-readable results (points, wall time, parallelism) that main
@@ -94,6 +103,35 @@ type jsonPoint struct {
 	// on shard chunks.
 	Shards          int     `json:"shards,omitempty"`
 	ShardStallRatio float64 `json:"shard_stall_ratio,omitempty"`
+	// PeakHeapBytes is the live heap sampled right after the point's
+	// simulation (meaningful at -parallel 1), and BytesPerVFlow divides
+	// it by the point's virtual-flow count: the fleet sweeps record it
+	// staying ~flat as N grows into six figures.
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
+	BytesPerVFlow float64 `json:"bytes_per_vflow,omitempty"`
+	// RunMS is the point's own simulation wall-clock (scenarios that
+	// sample it; meaningful at -parallel 1) — the fleet sweeps' direct
+	// sublinear-wall-clock evidence.
+	RunMS float64 `json:"run_ms,omitempty"`
+	// Classes carries the per-equivalence-class aggregated statistics
+	// of mixture points (aggregated-stats mode).
+	Classes []jsonClass `json:"classes,omitempty"`
+}
+
+// jsonClass is one equivalence class's aggregated statistics in a
+// mixture point.
+type jsonClass struct {
+	Name             string  `json:"name"`
+	Flows            int     `json:"flows"`
+	ScheduledPackets int64   `json:"scheduled_packets"`
+	ScheduledBytes   int64   `json:"scheduled_bytes"`
+	Packets          int64   `json:"packets"`
+	Bytes            int64   `json:"bytes"`
+	DelayMeanMs      float64 `json:"delay_mean_ms"`
+	DelayStdMs       float64 `json:"delay_std_ms"`
+	DelayP50Ms       float64 `json:"delay_p50_ms"`
+	DelayP95Ms       float64 `json:"delay_p95_ms"`
+	DelayP99Ms       float64 `json:"delay_p99_ms"`
 }
 
 type jsonSeries struct {
@@ -146,12 +184,27 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 				stallSum += p.StallRatio
 				stallN++
 			}
-			js.Points = append(js.Points, jsonPoint{
+			jp := jsonPoint{
 				TokenRateBps: float64(p.TokenRate), DepthBytes: int64(p.Depth),
 				Label: p.Label, FrameLoss: p.FrameLoss, Quality: p.Quality,
 				PacketLoss: p.PacketLoss, Events: p.Events, VirtualFlows: p.VFlows,
 				Shards: p.Shards, ShardStallRatio: p.StallRatio,
-			})
+				PeakHeapBytes: p.HeapBytes, RunMS: p.RunMS,
+			}
+			if p.VFlows > 0 && p.HeapBytes > 0 {
+				jp.BytesPerVFlow = float64(p.HeapBytes) / float64(p.VFlows)
+			}
+			for _, c := range p.Classes {
+				jp.Classes = append(jp.Classes, jsonClass{
+					Name: c.Name, Flows: c.Flows,
+					ScheduledPackets: c.ScheduledPackets, ScheduledBytes: c.ScheduledBytes,
+					Packets: c.Packets, Bytes: c.Bytes,
+					DelayMeanMs: c.DelayMeanMs, DelayStdMs: c.DelayStdMs,
+					DelayP50Ms: c.DelayP50Ms, DelayP95Ms: c.DelayP95Ms,
+					DelayP99Ms: c.DelayP99Ms,
+				})
+			}
+			js.Points = append(js.Points, jp)
 		}
 		rec.Series = append(rec.Series, js)
 	}
@@ -215,6 +268,7 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 		start := time.Now()
 		fig := experiment.RunScenarioOpts(sc, experiment.RunOptions{
 			Parallel: parallelism, Trace: tr, Shards: shardCount,
+			BucketWidth: bucketWidth,
 		})
 		wall := time.Since(start)
 		if jsonPath != "" {
@@ -302,6 +356,40 @@ func videoTable1() []frRow {
 	return rows
 }
 
+// rejectUnshardable exits with a clear error when -shards > 1 was
+// combined with scenarios whose jobs would silently ignore it. Only
+// the scenarios actually selected for this invocation are checked, so
+// e.g. `-run nflow-fleet -shards 4` never trips over fig7.
+func rejectUnshardable(names map[string]bool, runAll bool) {
+	if shardCount <= 1 {
+		return
+	}
+	var bad []string
+	for _, s := range experiment.Scenarios() {
+		if (runAll || names[s.Name()]) && !experiment.SupportsSharding(s) {
+			bad = append(bad, s.Name())
+		}
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"-shards %d is not supported by: %s (these scenarios run single-simulator jobs; drop -shards or select shard-capable scenarios such as %s)\n",
+			shardCount, strings.Join(bad, ", "), strings.Join(shardableNames(), ", "))
+		os.Exit(2)
+	}
+}
+
+// shardableNames lists the registered scenarios whose jobs dispatch to
+// the intra-run sharded pipeline.
+func shardableNames() []string {
+	var out []string
+	for _, s := range experiment.Scenarios() {
+		if experiment.SupportsSharding(s) {
+			out = append(out, s.Name())
+		}
+	}
+	return out
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available artifacts")
 	run := flag.String("run", "all", "comma-separated artifact names, or 'all'")
@@ -309,6 +397,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 1,
 		"intra-run shard count per simulation (1 = serial; output is identical at any value)")
+	bucket := flag.Duration("bucket-width", 0,
+		"calendar-queue bucket width override, e.g. 50us (0 = per-scenario default; pure perf knob)")
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	jsonFlag := flag.String("json", "", "write per-scenario results as JSON to this file (\"-\" = stdout)")
@@ -323,6 +413,11 @@ func main() {
 	plotMode = *plot
 	parallelism = *parallel
 	shardCount = *shards
+	if *bucket < 0 {
+		fmt.Fprintf(os.Stderr, "-bucket-width must be >= 0, got %v\n", *bucket)
+		os.Exit(2)
+	}
+	bucketWidth = units.Time(*bucket)
 	jsonPath = *jsonFlag
 	traceDir = *trace
 	traceCfg = ptrace.Config{Capacity: *traceCap, Head: *traceHead, Sample: *traceSample}
@@ -349,6 +444,7 @@ func main() {
 				*scenario, strings.Join(experiment.Names(), ", "))
 			os.Exit(2)
 		}
+		rejectUnshardable(map[string]bool{s.Name(): true}, false)
 		fmt.Println(scenarioArtifact(s).run(*scale))
 		if jsonPath != "" {
 			if err := writeJSON(jsonPath); err != nil {
@@ -381,6 +477,7 @@ func main() {
 			}
 		}
 	}
+	rejectUnshardable(want, *run == "all")
 	for _, a := range all {
 		if *run != "all" && !want[a.name] {
 			continue

@@ -57,6 +57,26 @@
 // harness in internal/experiment and internal/topology. Unlike flow
 // batching, sharding has no large-N divergence boundary.
 //
+// Heterogeneous populations batch as mixtures
+// (flowbatch.BatchedMixture, MultiFlowConfig.Classes): K equivalence
+// classes — each with its own cached schedule, encoding, access
+// chain, policing profile, phase and stagger — fan out class-major
+// into one interleaved emission stream in exact global (time, flow)
+// order, so the batching contract and both differential harnesses
+// extend to mixtures unchanged (mixeq harness in
+// internal/experiment), serially and sharded. Six-figure fleets pair
+// this with aggregated statistics (MultiFlowConfig.AggregateStats):
+// one client.Aggregate per class — delivered counts, streaming delay
+// moments, fixed-size P² quantile sketches — keeps receive-side
+// memory and figure assembly O(classes) instead of O(flows), at the
+// price of frame-level semantics. The nflow-fleet scenario sweeps
+// such a mixture to N = 200,000 virtual flows across the
+// bottleneck's provisioning knee, recording events per virtual flow
+// falling and bytes per virtual flow ~flat as N grows
+// (BENCH_PR7.json); the calendar queue's bucket width is a per-run
+// perf knob on the same sweeps (sim.NewWithBucketWidth, "dsbench
+// -bucket-width"), with event order — and output — width-invariant.
+//
 // Below the frame layer, the packet tracing subsystem (ptrace) makes
 // the datapath observable: every component carries a nil-by-default
 // Tap emitting compact value-type events — link enqueue/tx/deliver,

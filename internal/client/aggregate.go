@@ -1,0 +1,71 @@
+package client
+
+import (
+	"repro/internal/packet"
+	"repro/internal/ptrace"
+	"repro/internal/stats"
+)
+
+// Aggregate is the O(1)-memory receiver of the aggregated-stats mode:
+// where UDP keeps per-frame reassembly state and a full frame trace
+// per flow, an Aggregate absorbs the deliveries of an entire
+// equivalence class into streaming moments and fixed-size quantile
+// sketches of one-way delay. A six-figure virtual-flow fleet keeps
+// one Aggregate per class — memory and assembly cost O(classes), not
+// O(flows) — at the price of frame-level semantics: no reassembly, no
+// decode dependencies, no VQM scoring. Handle is allocation-free
+// (the alloc budget suite pins it at 0 allocs warm), so the delivery
+// hot path stays pooled end to end.
+type Aggregate struct {
+	clock Clock
+
+	// Pool receives every delivered packet: like UDP, the Aggregate is
+	// the terminal owner on the forward path.
+	Pool *packet.Pool
+
+	// Tap, when set, receives a Deliver event per packet with the
+	// one-way delay since the sender stamped it.
+	Tap ptrace.Tap
+	Hop ptrace.HopID
+
+	Packets int64
+	Bytes   int64
+
+	// Delay accumulates one-way delay in seconds; the sketches estimate
+	// its median and tail.
+	Delay    stats.Moments
+	DelayP50 *stats.P2Quantile
+	DelayP95 *stats.P2Quantile
+	DelayP99 *stats.P2Quantile
+}
+
+// NewAggregate returns a class-level delivery accumulator.
+func NewAggregate(clock Clock) *Aggregate {
+	return &Aggregate{
+		clock:    clock,
+		DelayP50: stats.NewP2Quantile(0.50),
+		DelayP95: stats.NewP2Quantile(0.95),
+		DelayP99: stats.NewP2Quantile(0.99),
+	}
+}
+
+// Handle folds one arriving packet into the class aggregates and
+// releases it.
+func (a *Aggregate) Handle(p *packet.Packet) {
+	now := a.clock.Now()
+	a.Packets++
+	a.Bytes += int64(p.Size)
+	d := (now - p.SentAt).Seconds()
+	a.Delay.Add(d)
+	a.DelayP50.Add(d)
+	a.DelayP95.Add(d)
+	a.DelayP99.Add(d)
+	if a.Tap != nil {
+		a.Tap.Emit(ptrace.Event{
+			Kind: ptrace.Deliver, Hop: a.Hop, Flow: p.Flow, PktID: p.ID,
+			Size: int32(p.Size), DSCP: p.DSCP, FrameSeq: int32(p.FrameSeq),
+			Delay: now - p.SentAt,
+		})
+	}
+	a.Pool.Put(p)
+}

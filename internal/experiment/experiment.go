@@ -81,6 +81,47 @@ type Point struct {
 	// means the border replay dominates, near 1 means the shard
 	// workers do.
 	StallRatio float64
+
+	// Classes carries per-equivalence-class delivery statistics for
+	// mixture points run in aggregated-stats mode (nil otherwise). Like
+	// Events it rides exactly one series copy of the assembled figure.
+	Classes []ClassStat
+	// HeapBytes is the process heap in use (runtime.ReadMemStats
+	// HeapAlloc) sampled right after the point's simulation — a peak
+	// proxy that is meaningful at -parallel 1, where no other job's
+	// allocations mix in. 0 when the scenario does not sample it.
+	HeapBytes uint64
+	// RunMS is the point's simulation wall-clock in milliseconds (build
+	// + run, excluding trace I/O), for scenarios that record it: the
+	// fleet sweeps use it as direct evidence that wall time grows
+	// sublinearly in N. 0 when not sampled; meaningful at -parallel 1.
+	RunMS float64
+}
+
+// ClassStat summarizes one equivalence class of an aggregated-stats
+// mixture point: packet-level delivery counts and one-way delay
+// statistics from the class's streaming accumulator (exact moments,
+// P²-sketched quantiles).
+type ClassStat struct {
+	Name             string
+	Flows            int
+	ScheduledPackets int64 // per-flow schedule length × class population
+	ScheduledBytes   int64
+	Packets          int64 // delivered
+	Bytes            int64
+	DelayMeanMs      float64
+	DelayStdMs       float64
+	DelayP50Ms       float64
+	DelayP95Ms       float64
+	DelayP99Ms       float64
+}
+
+// DeliveredFraction is the class's packet delivery ratio.
+func (c ClassStat) DeliveredFraction() float64 {
+	if c.ScheduledPackets == 0 {
+		return 0
+	}
+	return float64(c.Packets) / float64(c.ScheduledPackets)
 }
 
 // rowLabel is what the figure table prints in the first column.

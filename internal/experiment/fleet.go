@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// The fleet scenario: the first sweep to reach six-figure virtual-flow
+// counts. Where nflow-wide scales one homogeneous population, the
+// fleet is a mixture of equivalence classes — a large population of
+// ordinary viewers plus a smaller population of higher-rate elephants
+// — run on the batched mixture fan-out with aggregated per-class
+// statistics, so both simulation time and memory stay sublinear in N:
+// each class pays its source-side cost once, the receive side is O(K)
+// accumulators, and past the provisioning knee the bottleneck
+// transmits at most a pipe's worth no matter how many flows feed it.
+
+func init() {
+	Register(NFlowFleetSpec())
+}
+
+// FleetClass parameterizes one equivalence class of the fleet: its
+// content, encoding rate, share of the total population, and per-flow
+// EF policing rate.
+type FleetClass struct {
+	Name      string
+	Clip      *video.Clip
+	EncRate   units.BitRate
+	Share     float64 // fraction of the point's total flow count
+	TokenRate units.BitRate
+}
+
+// FleetSpec sweeps the total virtual-flow count of a fixed-shape
+// class mixture across the bottleneck's provisioning knee.
+type FleetSpec struct {
+	Key   string
+	ID    string
+	Title string
+
+	Ns      []int // total virtual flows per point (split by class shares)
+	Classes []FleetClass
+
+	Depth          units.ByteSize
+	BottleneckRate units.BitRate
+	Sched          topology.BottleneckSched
+	BELoad         float64
+	Seed           uint64
+
+	// Truncate caps each flow's emission schedule (the fleet streams a
+	// clip prefix, not the whole clip — wall-clock scales with N, not
+	// with N × clip length).
+	Truncate units.Time
+	// StartWindow spreads each class's flow starts uniformly over this
+	// window (per-flow stagger = window / class population), so the
+	// active-flow count — and with it the EF aggregate the bottleneck
+	// sees — is independent of the per-flow stagger choice.
+	StartWindow units.Time
+	// BucketWidth is the calendar-queue width used at the 10k-flow
+	// anchor point; widthFor scales it down inversely with N so bucket
+	// occupancy — and with it the per-pop scan cost of the calendar's
+	// min — stays roughly constant as event density grows (see
+	// BenchmarkCalendarBucketWidth and the fleet width sweep). dsbench
+	// -bucket-width overrides the whole rule.
+	BucketWidth units.Time
+}
+
+// widthFor picks the point's calendar bucket width: the anchor width
+// at N=10000, shrinking proportionally as N (and with it event
+// density) grows, floored at 500ns. Event order is width-invariant,
+// so this is purely a perf schedule.
+func (spec FleetSpec) widthFor(n int) units.Time {
+	w := spec.BucketWidth
+	if n > 10000 {
+		w = spec.BucketWidth * 10000 / units.Time(n)
+	}
+	if w < 500 {
+		w = 500
+	}
+	return w
+}
+
+// NFlowFleetSpec is the registered fleet scenario: 85% "viewers"
+// (Lost @ 1.0 Mbps, policed at 1.3 Mbps) + 15% "elephants" (Dark @
+// 1.5 Mbps, policed at 1.95 Mbps), N ∈ {10k … 200k} total flows, each
+// streaming a 1 s clip prefix with starts spread over 4 s. With ~N/4
+// flows active at once at ~1.1 Mbps mean policed rate, the 13 Gbps
+// bottleneck is healthy at 10k, at its knee near 50k, and 2×/4×
+// overloaded at 100k/200k — so the sweep records events per virtual
+// flow falling past the knee (dropped packets cost no dequeue events)
+// while bytes per virtual flow stay ~flat (O(K) receivers, O(1)
+// per-flow source state).
+func NFlowFleetSpec() FleetSpec {
+	return FleetSpec{
+		Key: "nflow-fleet", ID: "Scaling A3",
+		Title: "Six-figure mixed fleets: batched viewer+elephant classes, aggregated stats",
+		Ns:    []int{10000, 25000, 50000, 100000, 200000},
+		Classes: []FleetClass{
+			{Name: "viewers", Clip: video.Lost(), EncRate: 1.0e6, Share: 0.85, TokenRate: 1.3e6},
+			{Name: "elephants", Clip: video.Dark(), EncRate: 1.5e6, Share: 0.15, TokenRate: 1.95e6},
+		},
+		Depth:          4500,
+		BottleneckRate: 13e9, Sched: topology.PriorityBottleneck,
+		// Under strict priority the best-effort aggregate never touches
+		// EF delivery; a light load keeps the scenario honest without
+		// dominating the event budget at 13 Gbps.
+		BELoad: 0.02, Seed: DefaultSeed,
+		Truncate:    units.Second,
+		StartWindow: 4 * units.Second,
+		BucketWidth: 50 * units.Microsecond,
+	}
+}
+
+// Name implements Scenario.
+func (spec FleetSpec) Name() string { return spec.Key }
+
+// Describe implements Scenario.
+func (spec FleetSpec) Describe() string { return spec.Title }
+
+// classesFor splits a total flow count by the class shares (the last
+// class absorbs rounding) and lays out the per-class topology config.
+func (spec FleetSpec) classesFor(n int) []topology.FlowClass {
+	out := make([]topology.FlowClass, len(spec.Classes))
+	rem := n
+	for ci, fc := range spec.Classes {
+		cn := int(float64(n)*fc.Share + 0.5)
+		if ci == len(spec.Classes)-1 || cn > rem {
+			cn = rem
+		}
+		rem -= cn
+		stagger := units.Time(1)
+		if cn > 0 {
+			if stagger = spec.StartWindow / units.Time(cn); stagger <= 0 {
+				stagger = 1
+			}
+		}
+		out[ci] = topology.FlowClass{
+			Name: fc.Name, Enc: video.CachedCBR(fc.Clip, fc.EncRate),
+			N: cn, TokenRate: fc.TokenRate, Depth: spec.Depth,
+			Truncate: spec.Truncate,
+			Phase:    units.Time(ci) * units.Millisecond,
+			Stagger:  stagger,
+		}
+	}
+	return out
+}
+
+// Jobs enumerates one mixture simulation per total flow count.
+func (spec FleetSpec) Jobs() []Job {
+	var jobs []Job
+	for _, n := range spec.Ns {
+		n := n
+		jobs = append(jobs, func(ctx *Ctx) Point {
+			return evaluateFleet(ctx, topology.MultiFlowConfig{
+				Seed: spec.Seed, Classes: spec.classesFor(n),
+				Depth:          spec.Depth,
+				BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+				BELoad: spec.BELoad, Pool: ctx.Pool,
+				Batch: true, AggregateStats: true,
+				BucketWidth: spec.widthFor(n),
+			}, fmt.Sprintf("N=%d", n), fmt.Sprintf("N%d", n))
+		})
+	}
+	return jobs
+}
+
+// evaluateFleet runs one aggregated-stats mixture simulation and folds
+// the per-class accumulators into a Point. The embedded FrameLoss is a
+// packet-level proxy — 1 − delivered/scheduled across every class —
+// because aggregated mode trades frame semantics for O(K) memory;
+// Quality stays 0.
+func evaluateFleet(ctx *Ctx, cfg topology.MultiFlowConfig, label, traceLabel string) Point {
+	rec := ctx.NewRecorder()
+	cfg.Trace = rec
+	cfg.Shards = ctx.Shards
+	if ctx.BucketWidth != 0 {
+		cfg.BucketWidth = ctx.BucketWidth
+	}
+	start := time.Now()
+	m := topology.BuildMultiFlow(cfg)
+	m.Run()
+	runWall := time.Since(start)
+	if err := ctx.SaveTrace(traceLabel, rec); err != nil {
+		panic(fmt.Sprintf("experiment: saving packet trace: %v", err))
+	}
+	pt := Point{Label: label}
+	var scheduled, delivered int64
+	for ci, agg := range m.Aggregates {
+		c := &m.Mixture.Classes[ci]
+		cs := ClassStat{
+			Name: m.ClassNames[ci], Flows: c.N,
+			ScheduledPackets: int64(c.N) * int64(len(c.Sched.Entries)),
+			ScheduledBytes:   int64(c.N) * c.Sched.Bytes,
+			Packets:          agg.Packets, Bytes: agg.Bytes,
+			DelayMeanMs: agg.Delay.Mean() * 1e3,
+			DelayStdMs:  agg.Delay.Stddev() * 1e3,
+			DelayP50Ms:  agg.DelayP50.Value() * 1e3,
+			DelayP95Ms:  agg.DelayP95.Value() * 1e3,
+			DelayP99Ms:  agg.DelayP99.Value() * 1e3,
+		}
+		scheduled += cs.ScheduledPackets
+		delivered += cs.Packets
+		pt.Classes = append(pt.Classes, cs)
+	}
+	if scheduled > 0 {
+		pt.FrameLoss = 1 - float64(delivered)/float64(scheduled)
+	}
+	pt.PacketLoss = m.AggregatePolicerLoss()
+	pt.Events = m.Sim.Fired() + m.Stats.ShardFired
+	pt.VFlows = m.Mixture.TotalFlows()
+	pt.Shards = m.Stats.Shards
+	pt.StallRatio = m.Stats.StallRatio
+	// Sampled after the run so the reading covers the simulation's live
+	// set; a peak proxy that is meaningful at -parallel 1.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pt.HeapBytes = ms.HeapAlloc
+	pt.RunMS = float64(runWall.Microseconds()) / 1000
+	return pt
+}
+
+// Assemble implements Scenario: one row per total flow count. The
+// Loss column is the packet-level delivery shortfall.
+func (spec FleetSpec) Assemble(results []Point) *Figure {
+	fig := &Figure{ID: spec.ID, Title: spec.Title, XLabel: "Flows"}
+	fig.Series = append(fig.Series, Series{Label: "fleet", Points: results})
+	return fig
+}
+
+// Scaled implements Scalable: thin the flow-count sweep (endpoints
+// always kept).
+func (spec FleetSpec) Scaled(n int) Scenario {
+	spec.Ns = scaleInts(spec.Ns, n)
+	return spec
+}
+
+// SupportsShards implements ShardCapable: fleet points dispatch to the
+// sharded mixture pipeline.
+func (spec FleetSpec) SupportsShards() bool { return true }
+
+// Run regenerates the figure on a default-size runner pool.
+func (spec FleetSpec) Run() *Figure { return RunScenario(spec, 0) }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -28,6 +29,9 @@ func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encodi
 	rec := ctx.NewRecorder()
 	cfg.Trace = rec
 	cfg.Shards = ctx.Shards
+	if cfg.BucketWidth == 0 {
+		cfg.BucketWidth = ctx.BucketWidth
+	}
 	m := topology.BuildMultiFlow(cfg)
 	m.Run()
 	if err := ctx.SaveTrace(traceLabel, rec); err != nil {
@@ -51,6 +55,12 @@ func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encodi
 	pt.VFlows = len(pt.Flows)
 	pt.Shards = m.Stats.Shards
 	pt.StallRatio = m.Stats.StallRatio
+	// Live-heap sample right after the run (a peak proxy, meaningful at
+	// -parallel 1): dsbench reports it per point as bytes per virtual
+	// flow alongside the fleet sweeps'.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pt.HeapBytes = ms.HeapAlloc
 	return pt
 }
 
@@ -168,6 +178,10 @@ func (spec MultiFlowSpec) Scaled(n int) Scenario {
 	return spec
 }
 
+// SupportsShards implements ShardCapable: both the batched and the
+// unbatched multi-flow runs dispatch to the sharded pipeline.
+func (spec MultiFlowSpec) SupportsShards() bool { return true }
+
 // Run regenerates the figure on a default-size runner pool.
 func (spec MultiFlowSpec) Run() *Figure { return RunScenario(spec, 0) }
 
@@ -282,6 +296,9 @@ func (spec SchedCompareSpec) Scaled(n int) Scenario {
 	spec.Loads = scaleFloats(spec.Loads, n)
 	return spec
 }
+
+// SupportsShards implements ShardCapable.
+func (spec SchedCompareSpec) SupportsShards() bool { return true }
 
 // Run regenerates the figure on a default-size runner pool.
 func (spec SchedCompareSpec) Run() *Figure { return RunScenario(spec, 0) }

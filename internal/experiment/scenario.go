@@ -11,6 +11,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/ptrace"
 	"repro/internal/runner"
+	"repro/internal/units"
 )
 
 // Scenario is a paper experiment decomposed for the runner: a figure
@@ -56,6 +57,12 @@ type Ctx struct {
 	// shardeq harness pins this), so the knob trades cores-per-job
 	// against jobs-in-flight without touching results.
 	Shards int
+
+	// BucketWidth overrides the calendar-queue bucket width of each
+	// job's simulator (dsbench -bucket-width; 0 keeps the scenario's or
+	// simulator's default). A pure performance knob: results are
+	// byte-identical at any width.
+	BucketWidth units.Time
 }
 
 // NewRecorder returns a bounded packet-trace recorder per the run's
@@ -142,6 +149,23 @@ type Scalable interface {
 	Scaled(n int) Scenario
 }
 
+// ShardCapable is implemented by scenarios whose jobs honor the
+// intra-run shard knob (RunOptions.Shards / dsbench -shards).
+// Scenarios without the method would silently run serial under
+// -shards, so dsbench rejects the combination up front instead.
+type ShardCapable interface {
+	Scenario
+	// SupportsShards reports whether the scenario's jobs dispatch to a
+	// sharded pipeline when Ctx.Shards > 1.
+	SupportsShards() bool
+}
+
+// SupportsSharding reports whether s honors the intra-run shard knob.
+func SupportsSharding(s Scenario) bool {
+	sc, ok := s.(ShardCapable)
+	return ok && sc.SupportsShards()
+}
+
 // RunScenario executes the scenario's jobs on a runner pool of the
 // given size (<= 0 means GOMAXPROCS, 1 means strictly serial) and
 // assembles the figure. This is the single execution path for every
@@ -171,6 +195,9 @@ type RunOptions struct {
 	// sharded pipeline with this many shards (<= 1 serial). Results
 	// are byte-identical at any value.
 	Shards int
+	// BucketWidth overrides each job's calendar-queue bucket width
+	// (0 keeps defaults). Results are byte-identical at any width.
+	BucketWidth units.Time
 }
 
 // RunScenarioOpts executes the scenario's jobs under the given
@@ -190,7 +217,8 @@ func RunScenarioOpts(s Scenario, opts RunOptions) *Figure {
 		fns[i] = j
 	}
 	newCtx := func() *Ctx {
-		return &Ctx{Pool: packet.NewPool(), Trace: opts.Trace, Shards: opts.Shards}
+		return &Ctx{Pool: packet.NewPool(), Trace: opts.Trace, Shards: opts.Shards,
+			BucketWidth: opts.BucketWidth}
 	}
 	return s.Assemble(runner.MapArena(opts.Parallel, newCtx, fns))
 }

@@ -103,6 +103,9 @@ func (spec TandemSpec) Scaled(n int) Scenario {
 	return spec
 }
 
+// SupportsShards implements ShardCapable.
+func (spec TandemSpec) SupportsShards() bool { return true }
+
 // Run regenerates the figure on a default-size runner pool.
 func (spec TandemSpec) Run() *Figure { return RunScenario(spec, 0) }
 

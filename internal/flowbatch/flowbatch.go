@@ -41,6 +41,27 @@
 // topologies where batched flows share a pre-policer queue with other
 // traffic, and unsupported for random (Poisson, on-off) sources,
 // whose per-flow RNG forks cannot be reproduced by one shared stream.
+//
+// # Mixtures
+//
+// BatchedMixture generalizes the fan-out from one homogeneous
+// population to K equivalence classes (MixtureClass): each class
+// brings its own cached schedule, access chain, phase and stagger,
+// and fans out as its own set of phase-offset virtual flows, with
+// global flow indices laid out class-major. One arrival wheel and one
+// delivery wheel (flowWheel, a calendar of time buckets over flow
+// indices — O(1) amortized where a binary heap pays a cache-hostile
+// O(log N) sift) interleave the classes in exact global (time, flow)
+// order, so the jitter stream is drawn at exactly the positions K
+// separate per-flow populations would consume and the exactness
+// contract above — and both the batcheq and shardeq differential
+// harnesses — extend to mixtures unchanged. A single class with zero
+// phase is packet-for-packet identical to BatchedPaced.
+// TruncateSchedule caps a class's schedule to a clip prefix for
+// fleet-scale sweeps. Sharded execution reuses the shift-invariance
+// argument per class: ShardArrivals carries per-flow base-sequence
+// indirection (Bases) and JitterSequencer per-flow jitter bounds
+// (JitterMaxOf), so one border replay serves heterogeneous shards.
 package flowbatch
 
 import (

@@ -1,0 +1,146 @@
+package flowbatch
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// capRec is one captured emission: everything observable downstream of
+// the fan-out except the globally monotone packet id.
+type capRec struct {
+	at     units.Time
+	flow   packet.FlowID
+	size   int
+	sentAt units.Time
+}
+
+type captureHandler struct {
+	sim  *sim.Simulator
+	pool *packet.Pool
+	recs []capRec
+}
+
+func (c *captureHandler) Handle(p *packet.Packet) {
+	c.recs = append(c.recs, capRec{at: c.sim.Now(), flow: p.Flow, size: p.Size, sentAt: p.SentAt})
+	c.pool.Put(p)
+}
+
+// TestMixtureSingleClassMatchesBatchedPaced pins the degenerate-case
+// contract of BatchedMixture: one class with zero phase must be
+// packet-for-packet identical to a BatchedPaced over the same schedule
+// — same delivery instants, same flow ids, same sizes, same send
+// stamps, same per-flow counters.
+func TestMixtureSingleClassMatchesBatchedPaced(t *testing.T) {
+	t.Parallel()
+	enc := video.CachedCBR(video.Lost(), 1.0e6)
+	sched := CachedPacedSchedule(enc)
+	chain := ChainSpec{AccessRate: 100 * units.Mbps,
+		AccessDelay: 500 * units.Microsecond, JitterMax: 3 * units.Millisecond}
+	const n = 8
+	const offset = 53 * units.Millisecond
+	horizon := units.FromSeconds(80) + units.Time(n)*offset
+
+	runPaced := func() ([]capRec, []int) {
+		s := sim.New(7)
+		pool := packet.NewPool()
+		cap := &captureHandler{sim: s, pool: pool}
+		bp := &BatchedPaced{Sim: s, Sched: sched, N: n, Offset: offset,
+			Chain: chain, Next: []packet.Handler{cap}, Pool: pool}
+		bp.Start()
+		s.SetHorizon(horizon)
+		s.Run()
+		return cap.recs, bp.Sent
+	}
+	runMixture := func() ([]capRec, []int) {
+		s := sim.New(7)
+		pool := packet.NewPool()
+		cap := &captureHandler{sim: s, pool: pool}
+		mix := &BatchedMixture{Sim: s,
+			Classes: []MixtureClass{{Sched: sched, N: n, Offset: offset, Chain: chain}},
+			Next:    []packet.Handler{cap}, Pool: pool}
+		mix.Start()
+		s.SetHorizon(horizon)
+		s.Run()
+		return cap.recs, mix.Sent
+	}
+
+	pr, ps := runPaced()
+	mr, msent := runMixture()
+	if len(pr) != len(mr) {
+		t.Fatalf("emission counts differ: paced %d, mixture %d", len(pr), len(mr))
+	}
+	for i := range pr {
+		if pr[i] != mr[i] {
+			t.Fatalf("emission %d differs: paced %+v, mixture %+v", i, pr[i], mr[i])
+		}
+	}
+	for i := range ps {
+		if ps[i] != msent[i] {
+			t.Errorf("flow %d Sent: paced %d, mixture %d", i, ps[i], msent[i])
+		}
+		if ps[i] != len(sched.Entries) {
+			t.Errorf("flow %d emitted %d of %d scheduled", i, ps[i], len(sched.Entries))
+		}
+	}
+}
+
+// TestMixtureClassLayout pins the class-major global flow indexing and
+// per-class start lattice.
+func TestMixtureClassLayout(t *testing.T) {
+	t.Parallel()
+	enc := video.CachedCBR(video.Lost(), 1.0e6)
+	sched := CachedPacedSchedule(enc)
+	s := sim.New(1)
+	pool := packet.NewPool()
+	sink := &captureHandler{sim: s, pool: pool}
+	mix := &BatchedMixture{Sim: s, Classes: []MixtureClass{
+		{Sched: sched, N: 3, Offset: 10 * units.Millisecond, Chain: ChainSpec{AccessRate: units.Mbps}},
+		{Sched: sched, N: 2, Phase: units.Second, Offset: 20 * units.Millisecond, Chain: ChainSpec{AccessRate: units.Mbps}},
+	}, Next: []packet.Handler{sink}, Pool: pool}
+	mix.InitReplay()
+	if got := mix.TotalFlows(); got != 5 {
+		t.Fatalf("TotalFlows = %d, want 5", got)
+	}
+	if got := mix.FlowBase(1); got != 3 {
+		t.Errorf("FlowBase(1) = %d, want 3", got)
+	}
+	wantClass := []int{0, 0, 0, 1, 1}
+	wantStart := []units.Time{0, 10 * units.Millisecond, 20 * units.Millisecond,
+		units.Second, units.Second + 20*units.Millisecond}
+	for g := 0; g < 5; g++ {
+		if mix.ClassOf(g) != wantClass[g] {
+			t.Errorf("ClassOf(%d) = %d, want %d", g, mix.ClassOf(g), wantClass[g])
+		}
+		if mix.StartOf(g) != wantStart[g] {
+			t.Errorf("StartOf(%d) = %v, want %v", g, mix.StartOf(g), wantStart[g])
+		}
+	}
+}
+
+func TestTruncateSchedule(t *testing.T) {
+	t.Parallel()
+	sched := &Schedule{Entries: []Entry{
+		{At: 0, Size: 100}, {At: units.Second, Size: 200}, {At: 2 * units.Second, Size: 300},
+	}, Bytes: 600}
+	if got := TruncateSchedule(sched, 0); got != sched {
+		t.Error("cutoff 0 should return the schedule unchanged")
+	}
+	if got := TruncateSchedule(sched, 10*units.Second); got != sched {
+		t.Error("cutoff past the end should return the schedule unchanged")
+	}
+	tr := TruncateSchedule(sched, 2*units.Second)
+	if len(tr.Entries) != 2 || tr.Bytes != 300 {
+		t.Errorf("cutoff 2s: got %d entries / %d bytes, want 2 / 300 (entry at the cutoff is excluded)",
+			len(tr.Entries), tr.Bytes)
+	}
+	if &tr.Entries[0] != &sched.Entries[0] {
+		t.Error("truncated schedule should share the backing array")
+	}
+	if got := TruncateSchedule(nil, units.Second); got != nil {
+		t.Error("nil schedule should pass through")
+	}
+}

@@ -1,6 +1,7 @@
 package flowbatch
 
 import (
+	"math/bits"
 	"slices"
 
 	"repro/internal/packet"
@@ -106,6 +107,12 @@ type ShardArrivals struct {
 	Start   []units.Time // start time per owned flow (parallel to Flows)
 	Horizon units.Time   // arrivals after this never fire serially; 0 = unbounded
 
+	// Bases, when set, gives each owned flow its own base sequence
+	// (parallel to Flows) — the mixture case, where every class walks
+	// its own schedule through its own chain. nil means every owned
+	// flow shares Base.
+	Bases [][]units.Time
+
 	// Out collects the arrivals of the current window in (time, flow)
 	// order. The worker swaps it out after each window.
 	Out []Arrival
@@ -119,16 +126,28 @@ type ShardArrivals struct {
 	scratch []Arrival // radix-sort ping-pong buffer
 }
 
+// baseOf reports the base sequence of owned flow loc.
+func (sa *ShardArrivals) baseOf(loc int32) []units.Time {
+	if sa.Bases != nil {
+		return sa.Bases[loc]
+	}
+	return sa.Base
+}
+
 // Init seeds the per-flow walk state.
 func (sa *ShardArrivals) Init() {
 	n := len(sa.Flows)
-	if n == 0 || len(sa.Base) == 0 {
+	if n == 0 {
 		return
 	}
 	sa.pos = make([]int32, n)
 	sa.live = make([]int32, 0, n)
 	for i := range sa.Flows {
-		first := sa.Start[i] + sa.Base[0]
+		base := sa.baseOf(int32(i))
+		if len(base) == 0 {
+			continue
+		}
+		first := sa.Start[i] + base[0]
 		if sa.Horizon > 0 && first > sa.Horizon {
 			continue
 		}
@@ -149,13 +168,14 @@ func (sa *ShardArrivals) Done() bool { return len(sa.live) == 0 }
 // passes the horizon is finished.
 func (sa *ShardArrivals) AdvanceTo(frontier units.Time) {
 	mark := len(sa.Out)
-	n := int32(len(sa.Base))
 	w := 0
 	for _, loc := range sa.live {
 		start, flow := sa.Start[loc], sa.Flows[loc]
+		base := sa.baseOf(loc)
+		n := int32(len(base))
 		k := sa.pos[loc]
 		for k < n {
-			at := start + sa.Base[k]
+			at := start + base[k]
 			if sa.Horizon > 0 && at > sa.Horizon {
 				k = n
 				break
@@ -177,25 +197,23 @@ func (sa *ShardArrivals) AdvanceTo(frontier units.Time) {
 	sa.scratch = sortArrivals(sa.Out[mark:], sa.scratch)
 }
 
-// flowKeyBits is the low-bit budget the radix key reserves for the
-// flow index; batches with a flow at or above 1<<flowKeyBits fall back
-// to the comparator sort.
-const flowKeyBits = 10
-
 // sortArrivals orders one window batch by (time, flow) — a unique key,
 // so an unstable sort is exact. The hot path is a stable LSD radix
-// sort on the packed key (at − min(at)) << flowKeyBits | flow: one
-// window spans at most the lookahead width, so the key fits a few
-// bytes and the sort is a handful of counting passes over contiguous
-// records instead of m·log m branchy comparisons. Returns the scratch
-// buffer for reuse.
+// sort on the packed key (at − min(at)) << fb | flow, where fb is the
+// bit width of the batch's largest flow index — sized per batch so
+// six-figure flow counts radix-sort just like small ones, and small
+// ones pay no extra passes for headroom they don't use. One window
+// spans at most the lookahead width, so the key fits a few bytes and
+// the sort is a handful of counting passes over contiguous records
+// instead of m·log m branchy comparisons. Returns the scratch buffer
+// for reuse.
 func sortArrivals(batch []Arrival, scratch []Arrival) []Arrival {
 	if len(batch) < radixMinLen {
 		slices.SortFunc(batch, compareArrivals)
 		return scratch
 	}
 	minAt, maxAt := batch[0].At, batch[0].At
-	fits := true
+	var maxFlow int32
 	for i := range batch {
 		a := &batch[i]
 		if a.At < minAt {
@@ -204,11 +222,12 @@ func sortArrivals(batch []Arrival, scratch []Arrival) []Arrival {
 		if a.At > maxAt {
 			maxAt = a.At
 		}
-		if uint32(a.Flow) >= 1<<flowKeyBits {
-			fits = false
+		if a.Flow > maxFlow {
+			maxFlow = a.Flow
 		}
 	}
-	if !fits || uint64(maxAt-minAt) >= 1<<(64-flowKeyBits) {
+	fb := bits.Len32(uint32(maxFlow))
+	if uint64(maxAt-minAt) >= 1<<(64-fb) {
 		slices.SortFunc(batch, compareArrivals)
 		return scratch
 	}
@@ -216,12 +235,12 @@ func sortArrivals(batch []Arrival, scratch []Arrival) []Arrival {
 		scratch = make([]Arrival, len(batch))
 	}
 	scratch = scratch[:len(batch)]
-	maxKey := uint64(maxAt-minAt)<<flowKeyBits | (1<<flowKeyBits - 1)
+	maxKey := uint64(maxAt-minAt)<<fb | (1<<fb - 1)
 	src, dst := batch, scratch
 	for shift := 0; maxKey>>shift != 0; shift += 8 {
 		var count [256]int
 		for i := range src {
-			k := uint64(src[i].At-minAt)<<flowKeyBits | uint64(src[i].Flow)
+			k := uint64(src[i].At-minAt)<<fb | uint64(src[i].Flow)
 			count[(k>>shift)&0xff]++
 		}
 		pos := 0
@@ -229,7 +248,7 @@ func sortArrivals(batch []Arrival, scratch []Arrival) []Arrival {
 			pos, count[b] = pos+count[b], pos
 		}
 		for i := range src {
-			k := uint64(src[i].At-minAt)<<flowKeyBits | uint64(src[i].Flow)
+			k := uint64(src[i].At-minAt)<<fb | uint64(src[i].Flow)
 			b := (k >> shift) & 0xff
 			dst[count[b]] = src[i]
 			count[b]++
@@ -282,6 +301,11 @@ type JitterSequencer struct {
 	JitterMax units.Time
 	Horizon   units.Time // deliveries after this are dropped (the serial horizon)
 	N         int        // total virtual flows across all shards
+
+	// JitterMaxOf, when set, gives each global flow its own jitter
+	// bound (the mixture case, indexed by flow). nil means every flow
+	// shares JitterMax.
+	JitterMaxOf []units.Time
 
 	lastDelivery []units.Time
 	drawn        []int32
@@ -341,9 +365,13 @@ func (q *JitterSequencer) Feed(chunks [][]Arrival, frontier units.Time, out []De
 // per-flow clamp makes delivery times non-decreasing within a flow,
 // so the draw index doubles as the flow's release order.
 func (q *JitterSequencer) draw(a Arrival) {
+	jm := q.JitterMax
+	if q.JitterMaxOf != nil {
+		jm = q.JitterMaxOf[a.Flow]
+	}
 	t := a.At
-	if q.JitterMax > 0 {
-		t = a.At + units.Time(q.RNG.Float64()*float64(q.JitterMax))
+	if jm > 0 {
+		t = a.At + units.Time(q.RNG.Float64()*float64(jm))
 	}
 	i := a.Flow
 	if t < q.lastDelivery[i] {
@@ -395,7 +423,7 @@ func sortDeliveries(batch []pendingDelivery, scratch []pendingDelivery) []pendin
 		return scratch
 	}
 	minAt, maxAt := batch[0].at, batch[0].at
-	fits := true
+	var maxFlow int32
 	for i := range batch {
 		d := &batch[i]
 		if d.at < minAt {
@@ -404,11 +432,12 @@ func sortDeliveries(batch []pendingDelivery, scratch []pendingDelivery) []pendin
 		if d.at > maxAt {
 			maxAt = d.at
 		}
-		if uint32(d.flow) >= 1<<flowKeyBits {
-			fits = false
+		if d.flow > maxFlow {
+			maxFlow = d.flow
 		}
 	}
-	if !fits || uint64(maxAt-minAt) >= 1<<(64-flowKeyBits) {
+	fb := bits.Len32(uint32(maxFlow))
+	if uint64(maxAt-minAt) >= 1<<(64-fb) {
 		slices.SortStableFunc(batch, compareDeliveries)
 		return scratch
 	}
@@ -416,12 +445,12 @@ func sortDeliveries(batch []pendingDelivery, scratch []pendingDelivery) []pendin
 		scratch = make([]pendingDelivery, len(batch))
 	}
 	scratch = scratch[:len(batch)]
-	maxKey := uint64(maxAt-minAt)<<flowKeyBits | (1<<flowKeyBits - 1)
+	maxKey := uint64(maxAt-minAt)<<fb | (1<<fb - 1)
 	src, dst := batch, scratch
 	for shift := 0; maxKey>>shift != 0; shift += 8 {
 		var count [256]int
 		for i := range src {
-			k := uint64(src[i].at-minAt)<<flowKeyBits | uint64(src[i].flow)
+			k := uint64(src[i].at-minAt)<<fb | uint64(src[i].flow)
 			count[(k>>shift)&0xff]++
 		}
 		pos := 0
@@ -429,7 +458,7 @@ func sortDeliveries(batch []pendingDelivery, scratch []pendingDelivery) []pendin
 			pos, count[b] = pos+count[b], pos
 		}
 		for i := range src {
-			k := uint64(src[i].at-minAt)<<flowKeyBits | uint64(src[i].flow)
+			k := uint64(src[i].at-minAt)<<fb | uint64(src[i].flow)
 			b := (k >> shift) & 0xff
 			dst[count[b]] = src[i]
 			count[b]++

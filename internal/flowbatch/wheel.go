@@ -1,0 +1,195 @@
+package flowbatch
+
+import (
+	"repro/internal/units"
+)
+
+// flowWheel orders virtual-flow indices by (key[flow], flow) — the
+// same selection rule as flowHeap — on a calendar of time buckets
+// instead of a binary heap. At six-figure flow counts the heap's
+// O(log N) sift touches log N random key-array cache lines per
+// operation and dominates the mixture fan-out's profile; the wheel
+// makes every operation O(1) amortized: a push appends to the bucket
+// covering its key, the minimum is the (key, flow)-least entry of the
+// first non-empty bucket, and the cursor only moves forward. Entries
+// beyond the bucket window park in an overflow list that is
+// redistributed when the window drains (the sim calendar's design,
+// applied to flow indices with an external key array).
+//
+// The wheel is a pure data-structure swap: selection order is
+// identical to flowHeap's, so the fan-out's emission order — and
+// every byte downstream — is unchanged (the mixture differential
+// tests pin this).
+type flowWheel struct {
+	key   []units.Time // external key array (nextArr or nextDel)
+	width units.Time
+	base  units.Time // start instant of bucket 0
+	cur   int        // first possibly non-empty bucket
+
+	buckets [][]int32
+	over    []int32 // entries with key >= base + window
+	inBuck  int     // live entries across buckets
+
+	cachedMin    int32 // -1 when invalid
+	cachedBucket int
+	cachedSlot   int
+}
+
+const (
+	wheelMinBuckets = 1 << 8
+	wheelMaxBuckets = 1 << 18
+	wheelMinWidth   = 500 * units.Nanosecond
+	wheelMaxWidth   = 100 * units.Microsecond
+)
+
+// newFlowWheel sizes the bucket lattice for an expected total of
+// events spread over span: width ~ mean event spacing, clamped so the
+// window stays wide enough for per-flow re-push distances and narrow
+// enough that bucket scans stay short. The bucket count scales with
+// the flow population — roughly every flow keeps one resident entry,
+// so ~2 buckets per flow holds per-bucket occupancy (and with it the
+// random key-array touches per pop) near one at any N.
+func newFlowWheel(key []units.Time, events int64, span units.Time) flowWheel {
+	width := wheelMaxWidth
+	if events > 0 {
+		if w := span / units.Time(events); w < width {
+			width = w
+		}
+	}
+	if width < wheelMinWidth {
+		width = wheelMinWidth
+	}
+	n := wheelMinBuckets
+	for n < wheelMaxBuckets && n < 2*len(key) {
+		n <<= 1
+	}
+	return flowWheel{key: key, width: width, buckets: make([][]int32, n), cachedMin: -1}
+}
+
+func (w *flowWheel) len() int { return w.inBuck + len(w.over) }
+
+func (w *flowWheel) window() units.Time { return w.width * units.Time(len(w.buckets)) }
+
+// push inserts flow g keyed at key[g].
+func (w *flowWheel) push(g int32) {
+	t := w.key[g]
+	if w.len() == 0 {
+		w.base = (t / w.width) * w.width
+		w.cur = 0
+	} else if t < w.base {
+		// A key before the window start (rare: a delivery scheduled
+		// while the wheel had rebased past it). Spill everything,
+		// rebase down, and re-file whatever the lowered window now
+		// covers — overflow must never hold an in-window key, or min()
+		// would answer from the buckets and miss it.
+		w.spillAll()
+		w.base = (t / w.width) * w.width
+		w.cur = 0
+		w.redistribute()
+	}
+	b := int((t - w.base) / w.width)
+	if b >= len(w.buckets) {
+		w.over = append(w.over, g)
+		return
+	}
+	w.buckets[b] = append(w.buckets[b], g)
+	w.inBuck++
+	if b < w.cur {
+		w.cur = b
+	}
+	if m := w.cachedMin; m >= 0 && (t < w.key[m] || (t == w.key[m] && g < m)) {
+		w.cachedMin = -1
+	}
+}
+
+// min returns the flow with the least (key, flow); the wheel must be
+// non-empty. All keys in an earlier bucket precede all keys in a
+// later one, so the global minimum is the least entry of the first
+// non-empty bucket.
+func (w *flowWheel) min() int32 {
+	if w.cachedMin >= 0 {
+		return w.cachedMin
+	}
+	for {
+		for b := w.cur; b < len(w.buckets); b++ {
+			bucket := w.buckets[b]
+			if len(bucket) == 0 {
+				w.cur = b + 1
+				continue
+			}
+			best, slot := bucket[0], 0
+			for i := 1; i < len(bucket); i++ {
+				g := bucket[i]
+				if w.key[g] < w.key[best] || (w.key[g] == w.key[best] && g < best) {
+					best, slot = g, i
+				}
+			}
+			w.cur = b
+			w.cachedMin, w.cachedBucket, w.cachedSlot = best, b, slot
+			return best
+		}
+		w.rebase()
+	}
+}
+
+// pop removes and returns the minimum.
+func (w *flowWheel) pop() int32 {
+	g := w.min()
+	bucket := w.buckets[w.cachedBucket]
+	last := len(bucket) - 1
+	bucket[w.cachedSlot] = bucket[last]
+	w.buckets[w.cachedBucket] = bucket[:last]
+	w.inBuck--
+	w.cachedMin = -1
+	return g
+}
+
+// fixMin re-files the current minimum after its key increased.
+func (w *flowWheel) fixMin() {
+	w.push(w.pop())
+}
+
+// rebase advances the window to the overflow's minimum key and pulls
+// every overflow entry now inside the window into its bucket. Only
+// called with all buckets empty.
+func (w *flowWheel) rebase() {
+	minT := w.key[w.over[0]]
+	for _, g := range w.over[1:] {
+		if w.key[g] < minT {
+			minT = w.key[g]
+		}
+	}
+	w.base = (minT / w.width) * w.width
+	w.cur = 0
+	w.redistribute()
+}
+
+// redistribute pulls every overflow entry inside the current window
+// into its bucket, restoring the invariant that overflow keys are all
+// at or beyond the window end.
+func (w *flowWheel) redistribute() {
+	win := w.window()
+	kept := w.over[:0]
+	for _, g := range w.over {
+		if d := w.key[g] - w.base; d < win {
+			w.buckets[d/w.width] = append(w.buckets[d/w.width], g)
+			w.inBuck++
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	w.over = kept
+}
+
+// spillAll moves every bucketed entry to overflow (rare rebase-down
+// path).
+func (w *flowWheel) spillAll() {
+	for b := w.cur; b < len(w.buckets); b++ {
+		if len(w.buckets[b]) > 0 {
+			w.over = append(w.over, w.buckets[b]...)
+			w.buckets[b] = w.buckets[b][:0]
+		}
+	}
+	w.inBuck = 0
+	w.cachedMin = -1
+}

@@ -1,0 +1,78 @@
+package flowbatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestFlowWheelMatchesFlowHeap drives a flowWheel and a flowHeap
+// through the same randomized (push, fixMin, pop) sequence over a
+// shared key array and demands identical min() answers at every step —
+// the wheel's byte-identity claim reduces to this.
+func TestFlowWheelMatchesFlowHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 1)))
+		n := 1 + rng.Intn(64)
+		keyH := make([]units.Time, n)
+		keyW := make([]units.Time, n)
+		h := flowHeap{idx: make([]int32, 0, n), key: keyH}
+		// Deliberately hostile sizing: tiny widths force overflow and
+		// rebase churn, huge widths collapse everything into one bucket.
+		span := units.Time(1 + rng.Intn(1_000_000))
+		events := int64(1 + rng.Intn(4096))
+		w := newFlowWheel(keyW, events, span)
+		live := make(map[int32]bool)
+
+		push := func(g int32, at units.Time) {
+			keyH[g], keyW[g] = at, at
+			h.push(g)
+			w.push(g)
+			live[g] = true
+		}
+		for g := 0; g < n; g++ {
+			if rng.Intn(4) > 0 {
+				push(int32(g), units.Time(rng.Intn(2_000_000)))
+			}
+		}
+		for step := 0; step < 20_000 && h.len() > 0; step++ {
+			if h.len() != w.len() {
+				t.Fatalf("trial %d step %d: len heap=%d wheel=%d", trial, step, h.len(), w.len())
+			}
+			gh, gw := h.min(), w.min()
+			if gh != gw {
+				t.Fatalf("trial %d step %d: min heap=%d@%d wheel=%d@%d",
+					trial, step, gh, keyH[gh], gw, keyW[gw])
+			}
+			switch op := rng.Intn(10); {
+			case op < 5: // advance the min's key (the fan-out's hot path)
+				bump := units.Time(rng.Intn(50_000))
+				keyH[gh] += bump
+				keyW[gh] += bump
+				h.fixMin()
+				w.fixMin()
+			case op < 8: // retire the min
+				h.pop()
+				w.pop()
+				delete(live, gh)
+			default: // push a currently-absent flow, sometimes far away
+				var g int32 = -1
+				for c := int32(0); c < int32(n); c++ {
+					if !live[c] {
+						g = c
+						break
+					}
+				}
+				if g < 0 {
+					continue
+				}
+				at := units.Time(rng.Intn(2_000_000))
+				if rng.Intn(8) == 0 {
+					at += 500_000_000 // deep overflow territory
+				}
+				push(g, at)
+			}
+		}
+	}
+}

@@ -120,11 +120,31 @@ func (h Handle) Cancel() {
 	}
 }
 
-// numBuckets is the calendar window size. 256 buckets of the default
-// width cover 64 ms — a few frame intervals of a streaming
-// experiment — which keeps per-bucket occupancy near one for
-// packet-rate traffic.
+// numBuckets is the calendar window size at the default width. 256
+// buckets of the default width cover 64 ms — a few frame intervals of
+// a streaming experiment — which keeps per-bucket occupancy near one
+// for packet-rate traffic. Narrower widths get proportionally more
+// buckets (see bucketCount) so the window — and with it the share of
+// events that bypass the overflow heap — does not shrink with the
+// granularity.
 const numBuckets = 256
+
+// maxBuckets caps the lattice growth for very narrow widths: 2^17
+// slice headers are ~3 MB, and below ~500 ns granularity the window
+// already spans tens of milliseconds.
+const maxBuckets = 1 << 17
+
+// bucketCount picks the lattice size for a width: enough buckets to
+// keep the window at numBuckets × DefaultBucketWidth, rounded up to a
+// power of two, within [numBuckets, maxBuckets].
+func bucketCount(width units.Time) int {
+	span := units.Time(numBuckets) * DefaultBucketWidth
+	n := numBuckets
+	for n < maxBuckets && units.Time(n)*width < span {
+		n <<= 1
+	}
+	return n
+}
 
 // DefaultBucketWidth is the default calendar bucket granularity. The
 // bucket-width microbenchmarks in the repo root sweep widths around
@@ -143,7 +163,7 @@ type Simulator struct {
 	// when < base + (i+1)*bucketWidth (an event may sit in an earlier
 	// bucket than its natural one, never a later one). Events at or
 	// beyond the window end wait in the overflow heap.
-	buckets  [numBuckets][]*Event
+	buckets  [][]*Event // lattice; len fixed at construction (bucketCount)
 	width    units.Time // bucket granularity (DefaultBucketWidth unless configured)
 	base     units.Time
 	cur      int // lowest possibly non-empty bucket
@@ -179,7 +199,8 @@ func NewWithBucketWidth(seed uint64, width units.Time) *Simulator {
 	if width <= 0 {
 		width = DefaultBucketWidth
 	}
-	return &Simulator{rng: NewRNG(seed), width: width}
+	return &Simulator{rng: NewRNG(seed), width: width,
+		buckets: make([][]*Event, bucketCount(width))}
 }
 
 // Now reports the current simulated time.
@@ -217,7 +238,7 @@ func (s *Simulator) alloc(t units.Time) *Event {
 func (s *Simulator) schedule(e *Event) {
 	s.live++
 	s.cachedMin = nil
-	end := s.base + units.Time(numBuckets)*s.width
+	end := s.base + units.Time(len(s.buckets))*s.width
 	if e.when >= end {
 		s.heapPush(e)
 		return
@@ -286,7 +307,7 @@ func (s *Simulator) min() *Event {
 		// Scan the window from the cursor — but only when something is
 		// physically in it, so draining the queue does not walk every
 		// empty bucket.
-		for b := s.cur; s.nBuckets > 0 && b < numBuckets; b++ {
+		for b := s.cur; s.nBuckets > 0 && b < len(s.buckets); b++ {
 			bucket := s.buckets[b]
 			var best *Event
 			slot := -1
@@ -328,7 +349,7 @@ func (s *Simulator) min() *Event {
 		}
 		s.base = s.overflow[0].when
 		s.cur = 0
-		end := s.base + units.Time(numBuckets)*s.width
+		end := s.base + units.Time(len(s.buckets))*s.width
 		for len(s.overflow) > 0 && s.overflow[0].when < end {
 			e := s.heapPop()
 			if e.cancelled {

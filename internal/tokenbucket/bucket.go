@@ -35,16 +35,24 @@ const tokenScale = 1e9
 // NewBucket returns a bucket that starts full, which matches both the
 // router implementations in the paper's testbed and RFC 2697/2698.
 func NewBucket(rate units.BitRate, depth units.ByteSize) *Bucket {
+	b := new(Bucket)
+	b.Init(rate, depth)
+	return b
+}
+
+// Init (re)initializes b in place to a full bucket — NewBucket over
+// caller-owned storage, so six-figure fan-outs can lay their buckets
+// out contiguously instead of as N scattered allocations.
+func (b *Bucket) Init(rate units.BitRate, depth units.ByteSize) {
 	if rate <= 0 {
 		panic("tokenbucket: non-positive rate")
 	}
 	if depth <= 0 {
 		panic("tokenbucket: non-positive depth")
 	}
-	b := &Bucket{rate: rate, depth: depth}
+	*b = Bucket{rate: rate, depth: depth}
 	b.scaledMax = int64(depth) * tokenScale
 	b.scaled = b.scaledMax
-	return b
 }
 
 // Rate reports the token arrival rate.

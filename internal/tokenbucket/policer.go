@@ -18,8 +18,12 @@ type Clock interface {
 // are re-marked with the EF code point and forwarded; non-conformant
 // packets are dropped ("hard" policing, §3.2.1.2).
 type Policer struct {
-	clock  Clock
-	bucket *Bucket
+	clock Clock
+	// The bucket is embedded by value: a conformance check touches one
+	// object, not a policer plus a pointed-to bucket — at six-figure
+	// flow counts, where the policer working set is far past cache,
+	// that second dependent line is measurable.
+	bucket Bucket
 	mark   packet.DSCP
 	next   packet.Handler
 	drop   packet.Handler // optional observer for dropped packets
@@ -42,7 +46,17 @@ type Policer struct {
 // NewPolicer returns a dropping policer with the given profile that
 // marks conformant traffic with mark and forwards it to next.
 func NewPolicer(clock Clock, rate units.BitRate, depth units.ByteSize, mark packet.DSCP, next packet.Handler) *Policer {
-	return &Policer{clock: clock, bucket: NewBucket(rate, depth), mark: mark, next: next}
+	p := new(Policer)
+	p.Init(clock, rate, depth, mark, next)
+	return p
+}
+
+// Init (re)initializes p in place — NewPolicer for fleets that
+// allocate their policers as one contiguous slice instead of N
+// scattered objects.
+func (p *Policer) Init(clock Clock, rate units.BitRate, depth units.ByteSize, mark packet.DSCP, next packet.Handler) {
+	*p = Policer{clock: clock, mark: mark, next: next}
+	p.bucket.Init(rate, depth)
 }
 
 // OnDrop registers an observer that receives each dropped packet.
@@ -53,7 +67,7 @@ func (p *Policer) OnDrop(h packet.Handler) { p.drop = h }
 func (p *Policer) SetNext(h packet.Handler) { p.next = h }
 
 // Bucket exposes the underlying bucket (for tests and inspection).
-func (p *Policer) Bucket() *Bucket { return p.bucket }
+func (p *Policer) Bucket() *Bucket { return &p.bucket }
 
 // Handle applies the profile to pkt.
 func (p *Policer) Handle(pkt *packet.Packet) {

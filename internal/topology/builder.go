@@ -201,7 +201,16 @@ type Builder struct {
 // NewBuilder returns a builder owning a fresh simulator seeded with
 // seed and a fresh packet arena.
 func NewBuilder(seed uint64) *Builder {
-	return &Builder{sim: sim.New(seed), pool: packet.NewPool(), byName: map[string]*elem{}}
+	return NewBuilderWidth(seed, 0)
+}
+
+// NewBuilderWidth is NewBuilder with an explicit calendar-queue bucket
+// width (<= 0 keeps sim.DefaultBucketWidth). Width is a pure
+// performance knob — the simulator fires events in the identical
+// order at any width — so topologies plumb it through for dense
+// six-figure-flow schedules without touching determinism contracts.
+func NewBuilderWidth(seed uint64, width units.Time) *Builder {
+	return &Builder{sim: sim.NewWithBucketWidth(seed, width), pool: packet.NewPool(), byName: map[string]*elem{}}
 }
 
 // Sim exposes the simulator so endpoints (servers, clients) can be

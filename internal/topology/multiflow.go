@@ -119,6 +119,29 @@ type MultiFlowConfig struct {
 	// a sharded run is bit-identical to a serial one at any shard
 	// count (the shardeq harness pins this). <= 1 runs serially.
 	Shards int
+
+	// Classes, when non-empty, replaces the homogeneous N-flow
+	// population with a mixture of equivalence classes (see mixture.go):
+	// each class fans its own cached emission schedule out as its own
+	// phase-offset virtual-flow set, interleaved in exact global
+	// (time, flow) order. N and Enc are ignored; flow ids are assigned
+	// class-major starting at VideoFlow.
+	Classes []FlowClass
+
+	// AggregateStats replaces the O(N) per-flow receivers with one
+	// client.Aggregate per class: streaming moments and P² delay
+	// sketches instead of frame traces, so receive-side memory and
+	// assembly are O(classes). Only valid with Classes. Frame-level
+	// evaluation (VQM, decode dependencies) is unavailable in this
+	// mode; delivery is measured at packet granularity.
+	AggregateStats bool
+
+	// BucketWidth overrides the simulator's calendar-queue bucket
+	// width (0 keeps sim.DefaultBucketWidth). A pure performance knob:
+	// event order — and therefore every figure — is identical at any
+	// width. Dense six-figure-flow schedules want narrower buckets
+	// (see BenchmarkCalendarBucketWidth).
+	BucketWidth units.Time
 }
 
 func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
@@ -141,16 +164,24 @@ func (c MultiFlowConfig) withDefaults() MultiFlowConfig {
 }
 
 // MultiFlow is a built N-flow experiment. Exactly one of Servers
-// (unbatched: one paced server per flow) or Batched (one fan-out
-// source covering every flow) is populated.
+// (unbatched: one paced server per flow), Batched (one fan-out source
+// covering every flow) or Mixture (a K-class fan-out, see mixture.go)
+// is populated.
 type MultiFlow struct {
 	Sim        *sim.Simulator
 	Net        *Network
 	Servers    []*server.Paced
 	Batched    *flowbatch.BatchedPaced
+	Mixture    *flowbatch.BatchedMixture
 	Clients    []*client.UDP
 	Policers   []*tokenbucket.Policer
 	Bottleneck *link.Link
+
+	// Aggregates holds one class-level delivery accumulator per mixture
+	// class when the config asked for AggregateStats (Clients is empty
+	// then); ClassNames labels them.
+	Aggregates []*client.Aggregate
+	ClassNames []string
 
 	// Stats describes the sharded pipeline after Run when Shards > 1
 	// (Stats.Shards is 1 after a serial run).
@@ -161,6 +192,14 @@ type MultiFlow struct {
 	stagger units.Time
 	shards  int
 	trace   *ptrace.Recorder
+
+	// Mixture-run state: per-flow class/start/encoding layout (set by
+	// the mixture build; nil on homogeneous builds) and the precomputed
+	// run horizon (0 means derive the homogeneous one from enc).
+	classOf []int32
+	starts  []units.Time
+	encOf   []*video.Encoding
+	horizon units.Time
 }
 
 // flowID maps flow index to the packet flow id (flow 0 keeps the
@@ -173,7 +212,13 @@ func flowID(i int) packet.FlowID { return VideoFlow + packet.FlowID(i) }
 // out to per-flow clients and drops the cross traffic.
 func BuildMultiFlow(cfg MultiFlowConfig) *MultiFlow {
 	cfg = cfg.withDefaults()
-	b := NewBuilder(cfg.Seed)
+	if len(cfg.Classes) > 0 {
+		return buildMixtureMultiFlow(cfg)
+	}
+	if cfg.AggregateStats {
+		panic("topology: AggregateStats requires Classes (aggregation is per equivalence class)")
+	}
+	b := NewBuilderWidth(cfg.Seed, cfg.BucketWidth)
 	b.UsePool(cfg.Pool)
 	b.UseTrace(cfg.Trace)
 	m := &MultiFlow{Sim: b.Sim(), enc: cfg.Enc, n: cfg.N, stagger: cfg.Stagger,
@@ -282,9 +327,14 @@ const (
 // completion — serially, or on the sharded pipeline when the config
 // asked for Shards > 1.
 func (m *MultiFlow) Run() {
-	horizon := units.FromSeconds(m.enc.Clip.DurationSeconds()+30) +
-		units.Time(int64(m.n))*m.stagger
+	horizon := m.horizon
+	if horizon == 0 {
+		horizon = units.FromSeconds(m.enc.Clip.DurationSeconds()+30) +
+			units.Time(int64(m.n))*m.stagger
+	}
 	switch {
+	case m.shards > 1 && m.Mixture != nil:
+		m.Stats = m.runShardedMixture(m.shards, horizon)
 	case m.shards > 1 && m.Batched != nil:
 		m.Stats = m.runShardedBatched(m.shards, horizon)
 	case m.shards > 1:
@@ -293,9 +343,16 @@ func (m *MultiFlow) Run() {
 		if m.Batched != nil {
 			m.Batched.Start()
 		}
+		if m.Mixture != nil {
+			m.Mixture.Start()
+		}
 		for i, srv := range m.Servers {
 			srv := srv
-			m.Sim.At(units.Time(int64(i))*m.stagger, srv.Start)
+			at := units.Time(int64(i)) * m.stagger
+			if m.starts != nil {
+				at = m.starts[i]
+			}
+			m.Sim.At(at, srv.Start)
 		}
 		m.Sim.SetHorizon(horizon)
 		m.Sim.Run()
@@ -313,9 +370,16 @@ func (m *MultiFlow) Run() {
 func (m *MultiFlow) runShardedUnbatched(shards int, horizon units.Time) ShardStats {
 	chains := make([]sourceChain, m.n)
 	for i := 0; i < m.n; i++ {
+		enc, startAt := m.enc, units.Time(int64(i))*m.stagger
+		if m.encOf != nil {
+			enc = m.encOf[i]
+		}
+		if m.starts != nil {
+			startAt = m.starts[i]
+		}
 		chains[i] = sourceChain{
-			enc: m.enc, flow: flowID(i),
-			startAt: units.Time(int64(i)) * m.stagger,
+			enc: enc, flow: flowID(i),
+			startAt: startAt,
 			rate:    accessRate, delay: accessDelay, sched: PlainFIFO(0),
 			name: fmt.Sprintf("hub%d", i),
 			next: m.Net.Handler(fmt.Sprintf("jit%d", i)),

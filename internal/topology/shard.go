@@ -172,7 +172,19 @@ func (m *MultiFlow) runShardedBatched(shards int, horizon units.Time) ShardStats
 	seq := &flowbatch.JitterSequencer{RNG: m.Sim.RNG(), JitterMax: bp.Chain.JitterMax,
 		Horizon: horizon, N: n}
 	seq.Init()
+	return runFanoutPipeline(m.Sim, sas, seq, w, horizon, bp.Inject)
+}
 
+// runFanoutPipeline is the shard-worker / sequencer / border-replay
+// pipeline shared by the batched homogeneous and mixture runs: the
+// initialized ShardArrivals advance in lookahead windows w, the
+// sequencer merges and jitters their chunks, and the calling goroutine
+// replays released deliveries through inject in exact serial order.
+func runFanoutPipeline(border *sim.Simulator, sas []*flowbatch.ShardArrivals,
+	seq *flowbatch.JitterSequencer, w, horizon units.Time,
+	inject func(flow, entry int32)) ShardStats {
+
+	s := len(sas)
 	g := runner.NewGroup()
 	arrCh := make([]chan []flowbatch.Arrival, s)
 	arrFree := make([]chan []flowbatch.Arrival, s)
@@ -254,16 +266,16 @@ func (m *MultiFlow) runShardedBatched(shards int, horizon units.Time) ShardStats
 			break
 		}
 		for _, d := range dels {
-			m.Sim.RunBefore(d.At)
-			m.Sim.AdvanceTo(d.At)
-			bp.Inject(d.Flow, d.Entry)
+			border.RunBefore(d.At)
+			border.AdvanceTo(d.At)
+			inject(d.Flow, d.Entry)
 		}
 		st.Injected += len(dels)
 		giveBuf(delFree, dels)
 	}
 	g.Wait()
-	m.Sim.SetHorizon(horizon)
-	m.Sim.Run()
+	border.SetHorizon(horizon)
+	border.Run()
 
 	for _, sa := range sas {
 		st.ShardFired += sa.Produced
