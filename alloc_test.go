@@ -330,6 +330,57 @@ func TestAggregateDeliveryTracedAllocationBudget(t *testing.T) {
 	}
 }
 
+// steadyTick is a self-rescheduling timer with a fixed period: the
+// simplest workload whose firing spacing the adaptive calendar policy
+// can observe and converge on.
+type steadyTick struct {
+	s   *sim.Simulator
+	gap units.Time
+	n   int
+}
+
+func (a *steadyTick) Fire(now units.Time) {
+	a.n++
+	a.s.AfterTimer(a.gap, a)
+}
+
+// TestAdaptiveWidthAllocationBudget pins the density-tracking path at
+// zero allocations warm: the streaming statistics the adaptive policy
+// reads (scheduled count, spacing EWMA, per-rebase firing totals) are
+// plain counters, and once the width has converged on the observed
+// spacing — which the warm-up guarantees, firing ~20k events at a
+// fixed 20 µs period across several window rebases — steady-state
+// running neither allocates nor moves the width again.
+func TestAdaptiveWidthAllocationBudget(t *testing.T) {
+	s := sim.New(1)
+	tick := &steadyTick{s: s, gap: 20 * units.Microsecond}
+	s.AfterTimer(0, tick)
+	s.RunUntil(400 * units.Millisecond) // several rebases: width converges
+	qs := s.QueueStats()
+	if !qs.Adaptive {
+		t.Fatal("sim.New did not produce an adaptive queue")
+	}
+	if qs.WidthMoves == 0 || qs.Width >= sim.DefaultBucketWidth {
+		t.Fatalf("width did not converge below the default during warm-up: %+v", qs)
+	}
+	var at units.Time = 400 * units.Millisecond
+	allocs := testing.AllocsPerRun(200, func() {
+		at += 10 * units.Millisecond
+		s.RunUntil(at)
+	})
+	if allocs != 0 {
+		t.Errorf("adaptive density-tracking path allocates %.2f/op, want 0", allocs)
+	}
+	after := s.QueueStats()
+	if after.WidthMoves != qs.WidthMoves {
+		t.Errorf("width moved during steady state: %d -> %d moves (width %v -> %v)",
+			qs.WidthMoves, after.WidthMoves, qs.Width, after.Width)
+	}
+	if after.Rebases == qs.Rebases {
+		t.Error("no rebase inside the measured window — budget did not cover migration")
+	}
+}
+
 // TestPooledSourceAllocationBudget pins the same property for a
 // steady-state traffic source feeding a link from a packet pool: the
 // whole emit → enqueue → transmit → sink-release cycle reuses pooled

@@ -63,10 +63,12 @@ var parallelism int
 // front rather than silently ignoring the flag.
 var shardCount int
 
-// bucketWidth is set by the -bucket-width flag; nonzero overrides
-// every simulation's calendar-queue bucket width. A pure perf knob:
-// event order — and therefore every byte of output — is
-// width-invariant.
+// bucketWidth is set by the -bucket-width flag; nonzero pins every
+// simulation's calendar-queue bucket width, disabling the simulator's
+// density-adaptive policy (zero, the default, leaves it adaptive). A
+// pure perf knob: event order — and therefore every byte of output —
+// is width-invariant. Artifacts that cannot honor the pin reject it
+// up front (see rejectWidthBlind).
 var bucketWidth units.Time
 
 // jsonPath is set by the -json flag; scenario artifacts then record
@@ -113,6 +115,12 @@ type jsonPoint struct {
 	// sample it; meaningful at -parallel 1) — the fleet sweeps' direct
 	// sublinear-wall-clock evidence.
 	RunMS float64 `json:"run_ms,omitempty"`
+	// Calendar-queue telemetry: window rebases, the final bucket width
+	// (the adaptive policy's converged choice, or the -bucket-width
+	// pin) and the share of schedules that landed in the overflow heap.
+	QueueRebases       uint64  `json:"queue_rebases,omitempty"`
+	QueueWidthUS       float64 `json:"queue_width_us,omitempty"`
+	QueueOverflowRatio float64 `json:"queue_overflow_ratio,omitempty"`
 	// Classes carries the per-equivalence-class aggregated statistics
 	// of mixture points (aggregated-stats mode).
 	Classes []jsonClass `json:"classes,omitempty"`
@@ -190,6 +198,9 @@ func makeRecord(name string, fig *experiment.Figure, wall time.Duration, scale i
 				PacketLoss: p.PacketLoss, Events: p.Events, VirtualFlows: p.VFlows,
 				Shards: p.Shards, ShardStallRatio: p.StallRatio,
 				PeakHeapBytes: p.HeapBytes, RunMS: p.RunMS,
+				QueueRebases:       p.QRebases,
+				QueueWidthUS:       float64(p.QWidth) / float64(units.Microsecond),
+				QueueOverflowRatio: p.QOverflow,
 			}
 			if p.VFlows > 0 && p.HeapBytes > 0 {
 				jp.BytesPerVFlow = float64(p.HeapBytes) / float64(p.VFlows)
@@ -378,6 +389,43 @@ func rejectUnshardable(names map[string]bool, runAll bool) {
 	}
 }
 
+// rejectWidthBlind exits with a clear error when -bucket-width was
+// combined with artifacts that cannot honor it: everything that is
+// not a registered scenario (the static tables, fig6's encoder dump,
+// the ablations and the EF service report run fixed internal
+// configurations with no width plumbing). Mirrors rejectUnshardable:
+// only the artifacts actually selected for this invocation are
+// checked, so e.g. `-run nflow-fleet -bucket-width 50us` never trips
+// over table1.
+func rejectWidthBlind(all []artifact, names map[string]bool, runAll bool) {
+	if bucketWidth == 0 {
+		return
+	}
+	if bad := widthBlindSelected(all, names, runAll); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"-bucket-width %v is not honored by: %s (these artifacts run fixed internal configurations; drop -bucket-width or select registered scenarios: %s)\n",
+			time.Duration(bucketWidth), strings.Join(bad, ", "), strings.Join(experiment.Names(), ", "))
+		os.Exit(2)
+	}
+}
+
+// widthBlindSelected returns the selected artifact names that would
+// silently ignore a -bucket-width pin — everything selected that is
+// not a registered scenario.
+func widthBlindSelected(all []artifact, names map[string]bool, runAll bool) []string {
+	scen := map[string]bool{}
+	for _, s := range experiment.Scenarios() {
+		scen[s.Name()] = true
+	}
+	var bad []string
+	for _, a := range all {
+		if (runAll || names[a.name]) && !scen[a.name] {
+			bad = append(bad, a.name)
+		}
+	}
+	return bad
+}
+
 // shardableNames lists the registered scenarios whose jobs dispatch to
 // the intra-run sharded pipeline.
 func shardableNames() []string {
@@ -398,7 +446,7 @@ func main() {
 	shards := flag.Int("shards", 1,
 		"intra-run shard count per simulation (1 = serial; output is identical at any value)")
 	bucket := flag.Duration("bucket-width", 0,
-		"calendar-queue bucket width override, e.g. 50us (0 = per-scenario default; pure perf knob)")
+		"pin the calendar-queue bucket width, e.g. 50us, disabling width adaptation (0 = adaptive; pure perf knob)")
 	scale := flag.Int("scale", 1, "token-sweep thinning factor (1 = full resolution)")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts too")
 	jsonFlag := flag.String("json", "", "write per-scenario results as JSON to this file (\"-\" = stdout)")
@@ -478,6 +526,7 @@ func main() {
 		}
 	}
 	rejectUnshardable(want, *run == "all")
+	rejectWidthBlind(all, want, *run == "all")
 	for _, a := range all {
 		if *run != "all" && !want[a.name] {
 			continue

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/units"
 )
 
 func TestArtifactRegistry(t *testing.T) {
@@ -91,6 +92,7 @@ func (fakeScenario) Jobs() []experiment.Job {
 				TokenRate: 1.5e6, Depth: 3000, Label: "N=2",
 				Evaluation: experiment.Evaluation{FrameLoss: 0.25, Quality: 0.5, PacketLoss: 0.1},
 				Events:     1000,
+				QRebases:   7, QWidth: 32 * units.Microsecond, QOverflow: 0.125,
 			}
 		},
 	}
@@ -138,5 +140,40 @@ func TestJSONRecording(t *testing.T) {
 	if p.TokenRateBps != 1.5e6 || p.DepthBytes != 3000 || p.Label != "N=2" ||
 		p.FrameLoss != 0.25 || p.Quality != 0.5 || p.PacketLoss != 0.1 {
 		t.Errorf("bad point: %+v", p)
+	}
+	if p.QueueRebases != 7 || p.QueueWidthUS != 32 || p.QueueOverflowRatio != 0.125 {
+		t.Errorf("queue telemetry not recorded: %+v", p)
+	}
+}
+
+// TestWidthBlindSelection pins which artifacts reject -bucket-width:
+// exactly the non-scenario ones (static tables, fig6, ablations, the
+// EF service report), and only when actually selected.
+func TestWidthBlindSelection(t *testing.T) {
+	all := artifacts()
+
+	// A pure scenario selection is clean.
+	if bad := widthBlindSelected(all, map[string]bool{"fig7": true, "nflow-fleet": true}, false); len(bad) != 0 {
+		t.Errorf("scenario-only selection flagged: %v", bad)
+	}
+	// Static artifacts are width-blind.
+	bad := widthBlindSelected(all, map[string]bool{"table1": true, "fig7": true}, false)
+	if len(bad) != 1 || bad[0] != "table1" {
+		t.Errorf("want [table1], got %v", bad)
+	}
+	// -run all trips over every non-scenario artifact.
+	bad = widthBlindSelected(all, nil, true)
+	want := map[string]bool{
+		"table1": true, "table2": true, "table3": true, "table4": true,
+		"fig6": true, "abl-shape": true, "abl-hops": true, "abl-jitter": true,
+		"abl-af": true, "abl-tcp": true, "ef-service": true,
+	}
+	if len(bad) != len(want) {
+		t.Fatalf("run-all width-blind set: got %v, want keys of %v", bad, want)
+	}
+	for _, n := range bad {
+		if !want[n] {
+			t.Errorf("unexpectedly width-blind: %q", n)
+		}
 	}
 }

@@ -73,9 +73,23 @@
 // such a mixture to N = 200,000 virtual flows across the
 // bottleneck's provisioning knee, recording events per virtual flow
 // falling and bytes per virtual flow ~flat as N grows
-// (BENCH_PR7.json); the calendar queue's bucket width is a per-run
-// perf knob on the same sweeps (sim.NewWithBucketWidth, "dsbench
-// -bucket-width"), with event order — and output — width-invariant.
+// (BENCH_PR7.json).
+//
+// The event queue tunes itself: the calendar's bucket width adapts to
+// the mean firing spacing the queue serves, re-derived only at window
+// rebases (where the lattice is provably empty) with power-of-two
+// targets, clamps and two-level hysteresis, so dense fleets converge
+// onto narrow buckets and sparse cancel-heavy TCP timer schedules
+// onto wide ones with zero effect on firing order — event order, and
+// output, stay width-invariant at every geometry, and rebases also
+// compact cancel-storm dead weight out of the overflow heap. A
+// positive width (sim.NewWithBucketWidth, the topology configs'
+// BucketWidth, "dsbench -bucket-width") pins the geometry and
+// disables adaptation; per-run telemetry (rebases, final width,
+// overflow ratio) rides on experiment.Point into "dsbench -json",
+// and BENCH_PR8.json records the bake-off — the adaptive policy
+// tracks the best hand-tuned width per workload and retires the
+// fleet's per-N width heuristic.
 //
 // Below the frame layer, the packet tracing subsystem (ptrace) makes
 // the datapath observable: every component carries a nil-by-default

@@ -12,6 +12,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/packet"
 	"repro/internal/render"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -96,6 +97,17 @@ type Point struct {
 	// fleet sweeps use it as direct evidence that wall time grows
 	// sublinearly in N. 0 when not sampled; meaningful at -parallel 1.
 	RunMS float64
+
+	// Calendar-queue telemetry from the point's (border) simulator,
+	// sampled after the run: window rebases performed, the final bucket
+	// width (the adaptive policy's converged choice, or the manual
+	// pin), and the share of schedules that landed in the overflow
+	// heap. Diagnostic only — never figure output. For seed-averaged
+	// points QRebases sums across runs and the others are last-run
+	// samples; zero-valued when the scenario does not sample them.
+	QRebases  uint64
+	QWidth    units.Time
+	QOverflow float64
 }
 
 // ClassStat summarizes one equivalence class of an aggregated-stats
@@ -289,7 +301,7 @@ func averagePoint(ctx *Ctx, tok units.BitRate, depth units.ByteSize, seed uint64
 	if runs <= 1 {
 		return run(ctx, seed)
 	}
-	untraced := &Ctx{Pool: ctx.Pool, Shards: ctx.Shards}
+	untraced := &Ctx{Pool: ctx.Pool, Shards: ctx.Shards, BucketWidth: ctx.BucketWidth}
 	var acc Point
 	for r := 0; r < runs; r++ {
 		c := untraced
@@ -304,6 +316,8 @@ func averagePoint(ctx *Ctx, tok units.BitRate, depth units.ByteSize, seed uint64
 		acc.Events += p.Events
 		acc.Shards = p.Shards
 		acc.StallRatio += p.StallRatio
+		acc.QRebases += p.QRebases
+		acc.QWidth, acc.QOverflow = p.QWidth, p.QOverflow
 	}
 	acc.TokenRate, acc.Depth = tok, depth
 	acc.FrameLoss /= float64(runs)
@@ -337,7 +351,7 @@ func runQBonePointLabeled(ctx *Ctx, labelPrefix string, enc, ref *video.Encoding
 	rec := ctx.NewRecorder()
 	q := topology.BuildQBone(topology.QBoneConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth, CrossLoad: crossLoad,
-		Pool: ctx.Pool, Trace: rec,
+		Pool: ctx.Pool, Trace: rec, BucketWidth: ctx.BucketWidth,
 	})
 	q.Client.Tolerance = client.SliceTolerance
 	q.Run()
@@ -348,7 +362,18 @@ func runQBonePointLabeled(ctx *Ctx, labelPrefix string, enc, ref *video.Encoding
 	if q.Policer != nil {
 		ev.PacketLoss = q.Policer.LossFraction()
 	}
-	return Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: q.Sim.Fired()}
+	pt := Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: q.Sim.Fired()}
+	fillQueueStats(&pt, q.Sim)
+	return pt
+}
+
+// fillQueueStats copies a run simulator's calendar-queue telemetry
+// into the point's diagnostic fields.
+func fillQueueStats(pt *Point, s *sim.Simulator) {
+	qs := s.QueueStats()
+	pt.QRebases = qs.Rebases
+	pt.QWidth = qs.Width
+	pt.QOverflow = qs.OverflowRatio()
 }
 
 // RelativeSpec parameterizes the Figs. 13–14 experiments: three
@@ -491,6 +516,7 @@ func runLocalPoint(ctx *Ctx, enc *video.Encoding, tok units.BitRate, depth units
 	l := topology.BuildLocal(topology.LocalConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth,
 		UseTCP: useTCP, UseShaper: useShaper, Pool: ctx.Pool, Trace: rec,
+		BucketWidth: ctx.BucketWidth,
 	})
 	if l.UDPClient != nil {
 		// WMT's reduced message sizes mean one lost packet damages a
@@ -505,5 +531,7 @@ func runLocalPoint(ctx *Ctx, enc *video.Encoding, tok units.BitRate, depth units
 	if l.Policer != nil {
 		ev.PacketLoss = l.Policer.LossFraction()
 	}
-	return Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: l.Sim.Fired()}
+	pt := Point{TokenRate: tok, Depth: depth, Evaluation: ev, Events: l.Sim.Fired()}
+	fillQueueStats(&pt, l.Sim)
+	return pt
 }

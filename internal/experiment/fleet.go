@@ -60,28 +60,6 @@ type FleetSpec struct {
 	// active-flow count — and with it the EF aggregate the bottleneck
 	// sees — is independent of the per-flow stagger choice.
 	StartWindow units.Time
-	// BucketWidth is the calendar-queue width used at the 10k-flow
-	// anchor point; widthFor scales it down inversely with N so bucket
-	// occupancy — and with it the per-pop scan cost of the calendar's
-	// min — stays roughly constant as event density grows (see
-	// BenchmarkCalendarBucketWidth and the fleet width sweep). dsbench
-	// -bucket-width overrides the whole rule.
-	BucketWidth units.Time
-}
-
-// widthFor picks the point's calendar bucket width: the anchor width
-// at N=10000, shrinking proportionally as N (and with it event
-// density) grows, floored at 500ns. Event order is width-invariant,
-// so this is purely a perf schedule.
-func (spec FleetSpec) widthFor(n int) units.Time {
-	w := spec.BucketWidth
-	if n > 10000 {
-		w = spec.BucketWidth * 10000 / units.Time(n)
-	}
-	if w < 500 {
-		w = 500
-	}
-	return w
 }
 
 // NFlowFleetSpec is the registered fleet scenario: 85% "viewers"
@@ -111,7 +89,6 @@ func NFlowFleetSpec() FleetSpec {
 		BELoad: 0.02, Seed: DefaultSeed,
 		Truncate:    units.Second,
 		StartWindow: 4 * units.Second,
-		BucketWidth: 50 * units.Microsecond,
 	}
 }
 
@@ -149,7 +126,10 @@ func (spec FleetSpec) classesFor(n int) []topology.FlowClass {
 	return out
 }
 
-// Jobs enumerates one mixture simulation per total flow count.
+// Jobs enumerates one mixture simulation per total flow count. The
+// calendar width is left adaptive (the PR 7 widthFor 1/N heuristic is
+// retired): the simulator converges on the observed event spacing at
+// every N, and dsbench -bucket-width still pins it manually.
 func (spec FleetSpec) Jobs() []Job {
 	var jobs []Job
 	for _, n := range spec.Ns {
@@ -161,7 +141,6 @@ func (spec FleetSpec) Jobs() []Job {
 				BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
 				BELoad: spec.BELoad, Pool: ctx.Pool,
 				Batch: true, AggregateStats: true,
-				BucketWidth: spec.widthFor(n),
 			}, fmt.Sprintf("N=%d", n), fmt.Sprintf("N%d", n))
 		})
 	}
@@ -220,6 +199,7 @@ func evaluateFleet(ctx *Ctx, cfg topology.MultiFlowConfig, label, traceLabel str
 	runtime.ReadMemStats(&ms)
 	pt.HeapBytes = ms.HeapAlloc
 	pt.RunMS = float64(runWall.Microseconds()) / 1000
+	fillQueueStats(&pt, m.Sim)
 	return pt
 }
 

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/packet"
 	"repro/internal/ptrace"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -301,9 +303,10 @@ func TestNFlowFleetRegistered(t *testing.T) {
 	if _, ok := s.(Scalable); !ok {
 		t.Error("nflow-fleet is not Scalable")
 	}
-	if spec.BucketWidth <= 0 || spec.BucketWidth >= units.Millisecond {
-		t.Errorf("nflow-fleet bucket width %v — want a sub-millisecond width from the BenchmarkCalendarBucketWidth matrix", spec.BucketWidth)
-	}
+	// The PR 7 per-N widthFor heuristic is retired: fleet jobs leave
+	// the config width zero so the simulator's density-adaptive policy
+	// picks the calendar geometry per point (pinned by the QWidth
+	// telemetry check in TestFleetEventsPerVFlowFall).
 }
 
 // TestFleetEventsPerVFlowFall is the scaling smoke the bench CI job
@@ -335,5 +338,69 @@ func TestFleetEventsPerVFlowFall(t *testing.T) {
 	if large.FrameLoss <= small.FrameLoss || large.FrameLoss <= 0.01 {
 		t.Errorf("delivery shortfall did not rise past the knee: %.4f at N=%d vs %.4f at N=%d",
 			small.FrameLoss, small.VFlows, large.FrameLoss, large.VFlows)
+	}
+	// Fleet points run width-adaptive and report queue telemetry: the
+	// final width is the policy's converged choice, and the denser
+	// point must not have converged wider than the sparser one.
+	if small.QWidth <= 0 || large.QWidth <= 0 || small.QRebases == 0 {
+		t.Errorf("queue telemetry missing: QWidth %v/%v, QRebases %d",
+			small.QWidth, large.QWidth, small.QRebases)
+	}
+	if large.QWidth > small.QWidth {
+		t.Errorf("adaptive width grew with density: %v at N=%d vs %v at N=%d",
+			small.QWidth, small.VFlows, large.QWidth, large.VFlows)
+	}
+}
+
+// TestFleetAdaptiveNoSlowerThanStatic is the CI width-policy smoke at
+// full registered scale: the fleet's densest point (N=200k) must run
+// no slower under the adaptive calendar than under the pinned static
+// default width — with a generous noise margin, since both are single
+// wall-clock samples — and must produce identical aggregates, because
+// bucket width is a performance knob, never a semantic one. Skipped
+// in -short mode (two full N=200k mixture runs).
+func TestFleetAdaptiveNoSlowerThanStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full N=200k fleet runs; skipped in -short mode")
+	}
+	spec := NFlowFleetSpec()
+	const n = 200000
+	run := func(width units.Time) Point {
+		ctx := &Ctx{Pool: packet.NewPool(), BucketWidth: width}
+		return evaluateFleet(ctx, topology.MultiFlowConfig{
+			Seed: spec.Seed, Classes: spec.classesFor(n),
+			Depth:          spec.Depth,
+			BottleneckRate: spec.BottleneckRate, Sched: spec.Sched,
+			BELoad: spec.BELoad, Pool: ctx.Pool,
+			Batch: true, AggregateStats: true,
+		}, "N=200000", "N200000")
+	}
+	static := run(sim.DefaultBucketWidth)
+	adaptive := run(0)
+
+	// Same simulation, different geometry: every semantic output must
+	// match exactly.
+	if adaptive.Events != static.Events || adaptive.VFlows != static.VFlows ||
+		adaptive.FrameLoss != static.FrameLoss || adaptive.PacketLoss != static.PacketLoss {
+		t.Errorf("adaptive vs static results diverged:\nadaptive %+v\nstatic   %+v",
+			adaptive, static)
+	}
+	if len(adaptive.Classes) != len(static.Classes) {
+		t.Fatalf("class counts diverged: %d vs %d", len(adaptive.Classes), len(static.Classes))
+	}
+	for i := range static.Classes {
+		if adaptive.Classes[i] != static.Classes[i] {
+			t.Errorf("class %d diverged:\nadaptive %+v\nstatic   %+v",
+				i, adaptive.Classes[i], static.Classes[i])
+		}
+	}
+	// The dense point must have converged below the static default —
+	// that is the whole premise of retiring the widthFor heuristic.
+	if adaptive.QWidth >= sim.DefaultBucketWidth {
+		t.Errorf("adaptive width did not narrow on the dense point: %v", adaptive.QWidth)
+	}
+	if adaptive.RunMS > static.RunMS*1.15 {
+		t.Errorf("adaptive slower than static default: %.1f ms vs %.1f ms",
+			adaptive.RunMS, static.RunMS)
 	}
 }

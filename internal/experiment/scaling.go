@@ -61,6 +61,7 @@ func evaluateMultiFlow(ctx *Ctx, cfg topology.MultiFlowConfig, enc *video.Encodi
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	pt.HeapBytes = ms.HeapAlloc
+	fillQueueStats(&pt, m.Sim)
 	return pt
 }
 

@@ -125,7 +125,7 @@ func runTandemPoint(ctx *Ctx, enc *video.Encoding, tok units.BitRate, depth unit
 	t := topology.BuildTandem(topology.TandemConfig{
 		Seed: seed, Enc: enc, TokenRate: tok, Depth: depth,
 		SecondBorder: secondBorder, Pool: ctx.Pool, Trace: rec,
-		Shards: ctx.Shards,
+		Shards: ctx.Shards, BucketWidth: ctx.BucketWidth,
 	})
 	t.Run()
 	if err := ctx.SaveTrace(variant+"-"+pointLabel(tok, depth, seed), rec); err != nil {
@@ -146,7 +146,9 @@ func runTandemPoint(ctx *Ctx, enc *video.Encoding, tok units.BitRate, depth unit
 	if offered > 0 {
 		ev.PacketLoss = float64(dropped) / float64(offered)
 	}
-	return Point{TokenRate: tok, Depth: depth, Evaluation: ev,
+	pt := Point{TokenRate: tok, Depth: depth, Evaluation: ev,
 		Events: t.Sim.Fired() + t.Stats.ShardFired,
 		Shards: t.Stats.Shards, StallRatio: t.Stats.StallRatio}
+	fillQueueStats(&pt, t.Sim)
+	return pt
 }

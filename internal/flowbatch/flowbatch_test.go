@@ -186,6 +186,65 @@ func TestBatchedPacedFoldsChainExactly(t *testing.T) {
 	}
 }
 
+// runBatchedAtWidth runs the clumped-schedule batched fixture on a
+// calendar pinned to the given bucket width (0 = adaptive) and
+// returns the delivered stream.
+func runBatchedAtWidth(sched *Schedule, width units.Time) (*sim.Simulator, []emission) {
+	s := sim.NewWithBucketWidth(77, width)
+	pool := packet.NewPool()
+	got := &recorder{sim: s, pool: pool}
+	src := &BatchedPaced{Sim: s, Sched: sched, N: 4, BaseFlow: 200, Offset: 1_712_345,
+		Chain: ChainSpec{AccessRate: 9_700_000, AccessDelay: 500 * units.Microsecond,
+			JitterMax: 3 * units.Millisecond},
+		Next: []packet.Handler{got}, Pool: pool}
+	src.Start()
+	s.Run()
+	return s, got.got
+}
+
+// TestBatchedPacedWidthInvariant pins calendar geometry out of the
+// results: the same batched simulation run under the adaptive default
+// and under pinned widths far finer and far coarser than the traffic
+// spacing must deliver byte-identical packet streams — same instants,
+// flows, sizes and jitter draws (seeded RNG consumed in the same
+// event order). Bucket width is a performance knob only.
+func TestBatchedPacedWidthInvariant(t *testing.T) {
+	sched := &Schedule{}
+	rng := rand.New(rand.NewSource(9))
+	var at units.Time
+	for i := 0; i < 800; i++ {
+		burst := 1 + rng.Intn(3)
+		for j := 0; j < burst; j++ {
+			size := 200 + rng.Intn(1300)
+			sched.Entries = append(sched.Entries, Entry{
+				At: at, Size: size, FrameSeq: int32(i), FragIndex: int32(j), FragCount: int32(burst),
+			})
+			sched.Bytes += int64(size)
+		}
+		at += units.Time(rng.Intn(400_000))
+	}
+
+	s, adaptive := runBatchedAtWidth(sched, 0)
+	if len(adaptive) == 0 {
+		t.Fatal("adaptive run delivered nothing")
+	}
+	if qs := s.QueueStats(); qs.Rebases == 0 {
+		t.Fatalf("adaptive run never rebased — fixture too short to exercise the policy: %+v", qs)
+	}
+	for _, width := range []units.Time{units.Microsecond, 4 * units.Millisecond} {
+		_, pinned := runBatchedAtWidth(sched, width)
+		if len(pinned) != len(adaptive) {
+			t.Fatalf("width %v delivered %d packets, adaptive %d", width, len(pinned), len(adaptive))
+		}
+		for i := range adaptive {
+			if adaptive[i] != pinned[i] {
+				t.Fatalf("width %v: packet %d diverged:\nadaptive %+v\npinned   %+v",
+					width, i, adaptive[i], pinned[i])
+			}
+		}
+	}
+}
+
 // TestBatchedCBREquivalence pins BatchedCBR with Phase 0 to N plain
 // CBR sources started in flow-id order: same ticks, same per-flow
 // packets, same Until cutoff.

@@ -27,16 +27,19 @@
 //
 // # Internal structure
 //
-// Pending events live in a calendar queue: a window of fixed-width
+// Pending events live in a calendar queue: a window of equal-width
 // time buckets covering the near future, with a binary-heap overflow
 // for events beyond the window. Dequeue cost is O(1) amortized for
 // the dense near-future traffic a packet simulation generates, while
 // far-future events (a clip's whole frame schedule, multi-second
 // timeouts) wait in the heap and migrate into buckets as the window
-// advances. Selection is always by the unique (time, seq) key, so the
-// firing order is exactly the order a single global heap would
-// produce — the structure is a performance choice, not a semantic
-// one.
+// advances. The bucket width is self-tuning: the simulator tracks the
+// observed event density and re-derives the width at window rebases
+// (see adaptive.go), unless a width was pinned at construction.
+// Selection is always by the unique (time, seq) key, so the firing
+// order is exactly the order a single global heap would produce — the
+// structure, including its width, is a performance choice, never a
+// semantic one.
 package sim
 
 import (
@@ -63,16 +66,21 @@ type Event struct {
 	timer     Timer
 	gen       uint32
 	cancelled bool
+	inHeap    bool // currently resident in the overflow heap
 	sim       *Simulator
 }
 
 // release clears an event's payload and returns it to the free list.
 // Bumping the generation invalidates every Handle pointing at it.
 func (s *Simulator) release(e *Event) {
+	if e.cancelled {
+		s.qPurged++
+	}
 	e.gen++
 	e.fn = nil
 	e.timer = nil
 	e.cancelled = false
+	e.inHeap = false
 	s.free = append(s.free, e)
 }
 
@@ -113,6 +121,11 @@ func (h Handle) Cancel() {
 	e.fn = nil
 	e.timer = nil
 	e.sim.live--
+	if e.inHeap {
+		// Dead weight in the overflow heap; once enough accumulates the
+		// next window rebase compacts it away (see compactOverflow).
+		e.sim.heapDead++
+	}
 	// Cancelling anything other than the cached minimum cannot change
 	// the minimum, so the peek cache survives.
 	if e.sim.cachedMin == e {
@@ -163,12 +176,29 @@ type Simulator struct {
 	// when < base + (i+1)*bucketWidth (an event may sit in an earlier
 	// bucket than its natural one, never a later one). Events at or
 	// beyond the window end wait in the overflow heap.
-	buckets  [][]*Event // lattice; len fixed at construction (bucketCount)
-	width    units.Time // bucket granularity (DefaultBucketWidth unless configured)
+	buckets  [][]*Event // lattice; len is bucketCount(width), re-derived on width moves
+	width    units.Time // bucket granularity (adaptive unless pinned at construction)
 	base     units.Time
 	cur      int // lowest possibly non-empty bucket
 	nBuckets int // events physically present in buckets
 	overflow []*Event
+	heapDead int // cancelled events still resident in the overflow heap
+
+	// Density-adaptive width policy state (see adaptive.go). The
+	// counters are streaming telemetry; decideFired/decideTime and
+	// lastDir drive the hysteretic width decision at window rebases.
+	adaptive     bool       // false when the width was pinned at construction
+	decideFired  uint64     // s.fired at the last width decision
+	decideTime   units.Time // window base at the last width decision
+	lastDir      int8       // direction of the previous decision's pressure
+	lastSched    units.Time // previous schedule() timestamp (spacing sampler)
+	spacingEWMA  int64      // EWMA of sampled |Δwhen| between schedules, ns
+	qScheduled   uint64     // events ever scheduled
+	qOverflowed  uint64     // schedules that landed in the overflow heap
+	qRebases     uint64     // window rebases
+	qWidthMoves  uint64     // adaptive width transitions
+	qCompactions uint64     // overflow-heap compactions
+	qPurged      uint64     // cancelled events reclaimed before firing
 
 	// min() caches the located minimum so the Run loop's
 	// peek-then-pop costs one scan, not two. The minimum always lives
@@ -186,21 +216,27 @@ type Simulator struct {
 }
 
 // New returns a simulator whose random source is seeded with seed.
+// The calendar width starts at DefaultBucketWidth and adapts to the
+// observed event density (see adaptive.go).
 func New(seed uint64) *Simulator {
-	return NewWithBucketWidth(seed, DefaultBucketWidth)
+	return NewWithBucketWidth(seed, 0)
 }
 
 // NewWithBucketWidth is New with an explicit calendar bucket
 // granularity. Bucket width is a performance knob, never a semantic
 // one: selection is always by the unique (time, seq) key, so two
 // simulators differing only in width fire the same events in the same
-// order. Non-positive widths fall back to the default.
+// order. A positive width pins the calendar geometry and disables
+// adaptation — the -bucket-width escape hatch; non-positive widths
+// start at the default and let the density-adaptive policy re-derive
+// the width at window rebases.
 func NewWithBucketWidth(seed uint64, width units.Time) *Simulator {
-	if width <= 0 {
+	adaptive := width <= 0
+	if adaptive {
 		width = DefaultBucketWidth
 	}
-	return &Simulator{rng: NewRNG(seed), width: width,
-		buckets: make([][]*Event, bucketCount(width))}
+	return &Simulator{rng: NewRNG(seed), width: width, adaptive: adaptive,
+		buckets: makeLattice(bucketCount(width))}
 }
 
 // Now reports the current simulated time.
@@ -234,12 +270,24 @@ func (s *Simulator) alloc(t units.Time) *Event {
 	return e
 }
 
-// schedule inserts e into the calendar window or the overflow heap.
+// schedule inserts e into the calendar window or the overflow heap,
+// feeding the density sampler on the way (every 8th call, shift-based
+// EWMA — no divisions, no allocation).
 func (s *Simulator) schedule(e *Event) {
 	s.live++
 	s.cachedMin = nil
+	s.qScheduled++
+	if s.qScheduled&7 == 0 {
+		d := int64(e.when - s.lastSched)
+		if d < 0 {
+			d = -d
+		}
+		s.spacingEWMA += (d - s.spacingEWMA) >> 3
+	}
+	s.lastSched = e.when
 	end := s.base + units.Time(len(s.buckets))*s.width
 	if e.when >= end {
+		s.qOverflowed++
 		s.heapPush(e)
 		return
 	}
@@ -339,27 +387,44 @@ func (s *Simulator) min() *Event {
 			s.cur = b + 1
 		}
 		// Window exhausted: purge cancelled overflow tops, then either
-		// finish (empty) or advance the window to the overflow minimum
-		// and migrate everything that now fits.
+		// finish (empty) or rebase the window onto the overflow minimum.
 		for len(s.overflow) > 0 && s.overflow[0].cancelled {
 			s.release(s.heapPop())
 		}
 		if len(s.overflow) == 0 {
 			return nil
 		}
-		s.base = s.overflow[0].when
-		s.cur = 0
-		end := s.base + units.Time(len(s.buckets))*s.width
-		for len(s.overflow) > 0 && s.overflow[0].when < end {
-			e := s.heapPop()
-			if e.cancelled {
-				s.release(e)
-				continue
-			}
-			i := int((e.when - s.base) / s.width)
-			s.buckets[i] = append(s.buckets[i], e)
-			s.nBuckets++
+		s.rebase()
+	}
+}
+
+// rebase advances the calendar window to the overflow minimum and
+// migrates everything that fits into buckets. The lattice is provably
+// empty here (the min scan drained or purged every bucket), which
+// makes this the one point where geometry may change: the heap is
+// compacted if cancellations dominate it, and — unless the width was
+// pinned at construction — the adaptive policy re-derives the bucket
+// width from the density observed since the last decision.
+func (s *Simulator) rebase() {
+	s.qRebases++
+	if s.heapDead >= compactMinDead && s.heapDead*4 >= len(s.overflow) {
+		s.compactOverflow()
+	}
+	if s.adaptive {
+		s.adaptWidth(s.overflow[0].when)
+	}
+	s.base = s.overflow[0].when
+	s.cur = 0
+	end := s.base + units.Time(len(s.buckets))*s.width
+	for len(s.overflow) > 0 && s.overflow[0].when < end {
+		e := s.heapPop()
+		if e.cancelled {
+			s.release(e)
+			continue
 		}
+		i := int((e.when - s.base) / s.width)
+		s.buckets[i] = append(s.buckets[i], e)
+		s.nBuckets++
 	}
 }
 
@@ -499,6 +564,7 @@ func eventLess(a, b *Event) bool {
 }
 
 func (s *Simulator) heapPush(e *Event) {
+	e.inHeap = true
 	s.overflow = append(s.overflow, e)
 	i := len(s.overflow) - 1
 	for i > 0 {
@@ -514,6 +580,10 @@ func (s *Simulator) heapPush(e *Event) {
 func (s *Simulator) heapPop() *Event {
 	h := s.overflow
 	top := h[0]
+	top.inHeap = false
+	if top.cancelled {
+		s.heapDead--
+	}
 	last := len(h) - 1
 	h[0] = h[last]
 	h[last] = nil

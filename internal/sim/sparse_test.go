@@ -88,6 +88,207 @@ func TestCalendarSparseLongRTOSchedule(t *testing.T) {
 	}
 }
 
+// TestCalendarCancelStormPurgesHeap models the schedule a cancel-heavy
+// tcp run produces: sprays of retransmission timers pushed far beyond
+// the calendar window, almost all of which are disarmed by an "ACK"
+// before firing. The dead events accumulate deep inside the overflow
+// heap where the lazy top-purge never reaches them; the rebase-point
+// compaction must reclaim them mid-run (not at drain time), and the
+// surviving events must still fire in exact (time, seq) order.
+func TestCalendarCancelStormPurgesHeap(t *testing.T) {
+	s := New(3)
+	rng := rand.New(rand.NewSource(41))
+
+	var want []rtoEvent
+	var got []rtoEvent
+	id := 0
+	add := func(when units.Time, cancel bool) {
+		k := rtoEvent{when, id}
+		id++
+		h := s.At(when, func() { got = append(got, k) })
+		if cancel {
+			h.Cancel()
+			return
+		}
+		want = append(want, k)
+	}
+
+	// Forty rounds: each sprays RTO timers 200 ms – 1 s out (overflow
+	// residents) and cancels 90% of them, plus a trickle of in-window
+	// traffic that keeps the window draining and rebasing through the
+	// storm.
+	for round := 0; round < 40; round++ {
+		base := units.Time(round) * 50 * units.Millisecond
+		for i := 0; i < 100; i++ {
+			at := base + 200*units.Millisecond + units.Time(rng.Int63n(int64(800*units.Millisecond)))
+			add(at, rng.Intn(10) != 0)
+		}
+		for i := 0; i < 4; i++ {
+			add(base+units.Time(rng.Int63n(int64(40*units.Millisecond))), false)
+		}
+	}
+
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	qs := s.QueueStats()
+	if qs.Compactions == 0 {
+		t.Errorf("cancel storm triggered no overflow compaction (purged %d, rebases %d)",
+			qs.PurgedCancelled, qs.Rebases)
+	}
+	if qs.PurgedCancelled == 0 {
+		t.Errorf("no cancelled events purged")
+	}
+	if s.heapDead != 0 {
+		t.Errorf("%d dead events still accounted in the drained heap", s.heapDead)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", s.Pending())
+	}
+}
+
+// TestCalendarBimodalWidthTransitions alternates dense (~20 µs
+// spacing) and sparse (~1 ms spacing) phases, each long enough for
+// the adaptive policy's hysteresis to act, so the width is forced
+// through repeated shrink and grow transitions. Every phase is
+// differentially checked against the (time, seq) reference sort, and
+// the sampled widths must show movement in both directions.
+func TestCalendarBimodalWidthTransitions(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(53))
+
+	var want []rtoEvent
+	var got []rtoEvent
+	id := 0
+	add := func(when units.Time, cancel bool) {
+		k := rtoEvent{when, id}
+		id++
+		h := s.At(when, func() { got = append(got, k) })
+		if cancel {
+			h.Cancel()
+			return
+		}
+		want = append(want, k)
+	}
+
+	now := units.Time(0)
+	var widths []units.Time
+	for cycle := 0; cycle < 3; cycle++ {
+		// Dense phase: 20k events at ~20 µs spacing (≈400 ms — several
+		// calendar windows at any width the policy can pick), 5%
+		// cancelled.
+		for i := 0; i < 20000; i++ {
+			at := now + units.Time(i)*20*units.Microsecond + units.Time(rng.Int63n(int64(10*units.Microsecond)))
+			add(at, rng.Intn(20) == 0)
+		}
+		now += 410 * units.Millisecond
+		s.RunUntil(now)
+		widths = append(widths, s.width)
+
+		// Sparse phase: 600 events at ~1 ms spacing (≈600 ms).
+		for i := 0; i < 600; i++ {
+			at := now + units.Time(i)*units.Millisecond + units.Time(rng.Int63n(int64(500*units.Microsecond)))
+			add(at, false)
+		}
+		now += 610 * units.Millisecond
+		s.RunUntil(now)
+		widths = append(widths, s.width)
+	}
+	s.Run()
+
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var shrank, grew bool
+	for _, w := range widths {
+		if w < DefaultBucketWidth {
+			shrank = true
+		}
+		if w > DefaultBucketWidth {
+			grew = true
+		}
+	}
+	qs := s.QueueStats()
+	if !shrank || !grew || qs.WidthMoves < 2 {
+		t.Errorf("bimodal load did not force both transitions: widths %v, moves %d",
+			widths, qs.WidthMoves)
+	}
+}
+
+// TestCalendarBurstGapAdaptiveSchedule is the burst-gap pattern: tight
+// event bursts (300 events within 1.5 ms) separated by 300 ms
+// silences, then a long dense tail. The window-mean spacing of the
+// burst phase (~1 ms) must grow the width past the default; the dense
+// tail must bring it back down — with the full firing sequence still
+// matching the reference sort across every transition.
+func TestCalendarBurstGapAdaptiveSchedule(t *testing.T) {
+	s := New(11)
+	rng := rand.New(rand.NewSource(67))
+
+	var want []rtoEvent
+	var got []rtoEvent
+	id := 0
+	add := func(when units.Time, cancel bool) {
+		k := rtoEvent{when, id}
+		id++
+		h := s.At(when, func() { got = append(got, k) })
+		if cancel {
+			h.Cancel()
+			return
+		}
+		want = append(want, k)
+	}
+
+	for burst := 0; burst < 40; burst++ {
+		base := units.Time(burst) * 300 * units.Millisecond
+		for i := 0; i < 300; i++ {
+			at := base + units.Time(i)*5*units.Microsecond + units.Time(rng.Int63n(int64(2*units.Microsecond)))
+			add(at, rng.Intn(8) == 0)
+		}
+	}
+	tail := 12 * units.Second
+	for i := 0; i < 200000; i++ {
+		at := tail + units.Time(i)*10*units.Microsecond + units.Time(rng.Int63n(int64(5*units.Microsecond)))
+		add(at, false)
+	}
+
+	s.RunUntil(tail)
+	wideWidth := s.width
+	s.Run()
+
+	sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if wideWidth <= DefaultBucketWidth {
+		t.Errorf("burst-gap phase did not widen: width %v after bursts", wideWidth)
+	}
+	if s.width >= DefaultBucketWidth {
+		t.Errorf("dense tail did not narrow: width %v at drain", s.width)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", s.Pending())
+	}
+}
+
 // TestCalendarRebaseInterleavedWithDense interleaves the sparse RTO
 // pattern with a dense near-future packet stream, so window advances
 // happen while buckets still drain — rebases must never reorder or

@@ -199,16 +199,17 @@ type Builder struct {
 }
 
 // NewBuilder returns a builder owning a fresh simulator seeded with
-// seed and a fresh packet arena.
+// seed and a fresh packet arena. The simulator's calendar width is
+// density-adaptive.
 func NewBuilder(seed uint64) *Builder {
 	return NewBuilderWidth(seed, 0)
 }
 
 // NewBuilderWidth is NewBuilder with an explicit calendar-queue bucket
-// width (<= 0 keeps sim.DefaultBucketWidth). Width is a pure
-// performance knob — the simulator fires events in the identical
-// order at any width — so topologies plumb it through for dense
-// six-figure-flow schedules without touching determinism contracts.
+// width: a positive width pins the geometry and disables adaptation,
+// <= 0 keeps the adaptive default. Width is a pure performance knob —
+// the simulator fires events in the identical order at any width — so
+// topologies plumb it through without touching determinism contracts.
 func NewBuilderWidth(seed uint64, width units.Time) *Builder {
 	return &Builder{sim: sim.NewWithBucketWidth(seed, width), pool: packet.NewPool(), byName: map[string]*elem{}}
 }
