@@ -18,6 +18,12 @@
 // and without it. -trace-cap/-trace-head/-trace-sample bound each
 // capture; -trace-verdicts restricts it to conditioner verdicts,
 // drops and deliveries so the bound covers the whole run.
+// -trace-format picks the on-disk encoding (jsonl, the default, or
+// the ~5× denser binary v2); -trace-spill streams the complete
+// filtered capture to disk during the run, unbounded by -trace-cap
+// (always binary v2 — sampling still applies, so -trace-sample
+// bounds the file size). Trace files are written atomically (temp
+// file + rename), so an interrupted run never leaves a torn .ptrace.
 //
 // Figure scenarios come from the experiment scenario registry and are
 // executed on the deterministic runner pool: -parallel changes only
@@ -82,9 +88,13 @@ var jsonRecords []scenarioRecord
 
 // traceDir and traceCfg are set by the -trace* flags; when traceDir is
 // non-empty every scenario artifact dumps per-point packet traces.
+// traceFormat picks the encoding ("jsonl" or "v2") and traceSpill
+// streams complete captures during the run (implies v2).
 var (
-	traceDir string
-	traceCfg ptrace.Config
+	traceDir    string
+	traceCfg    ptrace.Config
+	traceFormat string
+	traceSpill  bool
 )
 
 type jsonPoint struct {
@@ -148,10 +158,10 @@ type jsonSeries struct {
 }
 
 type scenarioRecord struct {
-	Name     string  `json:"name"`
-	Title    string  `json:"title"`
-	Parallel int     `json:"parallel"`
-	Scale    int     `json:"scale"`
+	Name     string `json:"name"`
+	Title    string `json:"title"`
+	Parallel int    `json:"parallel"`
+	Scale    int    `json:"scale"`
 	// Shards is the requested intra-run shard count (-shards);
 	// ShardStallRatio averages the per-point border stall fractions of
 	// the points that actually ran sharded.
@@ -274,7 +284,8 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 		}
 		var tr *experiment.TraceRequest
 		if traceDir != "" {
-			tr = &experiment.TraceRequest{Dir: traceDir, Config: traceCfg}
+			tr = &experiment.TraceRequest{Dir: traceDir, Config: traceCfg,
+				Format: traceFormat, Spill: traceSpill}
 		}
 		start := time.Now()
 		fig := experiment.RunScenarioOpts(sc, experiment.RunOptions{
@@ -457,6 +468,10 @@ func main() {
 	traceVerdicts := flag.Bool("trace-verdicts", false,
 		"capture only conditioner verdicts, drops, deliveries and TCP events")
 	traceFlow := flag.Int("trace-flow", 0, "capture only this flow id (0 = every flow)")
+	traceFormatFlag := flag.String("trace-format", "jsonl",
+		"trace encoding: jsonl (line-oriented v1) or v2 (binary, ~5x denser)")
+	traceSpillFlag := flag.Bool("trace-spill", false,
+		"stream the complete filtered capture to disk during the run, unbounded by -trace-cap (implies -trace-format v2)")
 	flag.Parse()
 	plotMode = *plot
 	parallelism = *parallel
@@ -474,6 +489,22 @@ func main() {
 	}
 	if *traceFlow > 0 {
 		traceCfg.Flows = []packet.FlowID{packet.FlowID(*traceFlow)}
+	}
+	traceSpill = *traceSpillFlag
+	switch *traceFormatFlag {
+	case "jsonl":
+		if traceSpill {
+			// JSONL's header carries the event count up front, so it
+			// cannot be streamed during a run; spilled traces are v2.
+			traceFormat = "v2"
+		} else {
+			traceFormat = "jsonl"
+		}
+	case "v2":
+		traceFormat = "v2"
+	default:
+		fmt.Fprintf(os.Stderr, "-trace-format must be jsonl or v2, got %q\n", *traceFormatFlag)
+		os.Exit(2)
 	}
 
 	all := artifacts()

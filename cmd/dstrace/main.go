@@ -1,11 +1,16 @@
 // Command dstrace summarizes a packet-level trace produced by
 // `dsbench -trace` (or any ptrace.Data writer): per-hop forwarding
 // and drop breakdown, residence-delay percentiles, conditioner
-// verdict counts and timeline, and per-flow one-way latency. With
-// -frames it joins the packet trace against the client's frame trace
-// and attributes each lost video frame to the hop that dropped its
-// fragments — the "why did this point score what it did" question the
-// figure tables cannot answer.
+// verdict counts and timeline, and per-flow one-way latency. Both
+// trace encodings — JSONL v1 and binary v2 — are accepted
+// transparently, and the summary path streams the file through a
+// bounded-memory digest, so fleet-scale spilled traces summarize in
+// constant space. With -frames it joins the packet trace against the
+// client's frame trace and attributes each lost video frame to the
+// hop that dropped its fragments — the "why did this point score what
+// it did" question the figure tables cannot answer. With -compare it
+// diffs two traces' digests per hop and per flow and exits non-zero
+// on a threshold breach: a behavioral regression gate for CI.
 //
 // Examples:
 //
@@ -13,6 +18,10 @@
 //	dstrace -in traces/tandem-2border-tok1100000-B3000-s42.ptrace
 //	dstrace -in run.ptrace -bucket 500ms
 //	dstrace -in run.ptrace -frames run.trace -top 20
+//	dstrace -compare base.ptrace candidate.ptrace -rel 0.02 -abs-ms 0.1
+//
+// Exit codes: 0 success, 1 unreadable input or -compare breach,
+// 2 usage error or unreadable/truncated/garbage trace file.
 package main
 
 import (
@@ -38,41 +47,53 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dstrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	in := fs.String("in", "", "packet trace file produced by dsbench -trace (required)")
+	in := fs.String("in", "", "packet trace file produced by dsbench -trace")
 	frames := fs.String("frames", "", "frame trace (dsstream -trace format) to attribute losses against")
 	bucket := fs.Duration("bucket", time.Second, "verdict-timeline bucket width")
 	top := fs.Int("top", 10, "max lost frames listed individually (0 = all)")
+	compare := fs.Bool("compare", false, "diff two traces: dstrace -compare a.ptrace b.ptrace")
+	rel := fs.Float64("rel", 0, "-compare relative tolerance per field (0 = exact)")
+	absMS := fs.Float64("abs-ms", 0, "-compare absolute noise floor for delay fields, in ms")
+	rows := fs.Int("rows", 20, "-compare max entities listed per delta table (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if *in == "" {
-		fmt.Fprintln(stderr, "dstrace: -in is required")
-		return 2
-	}
 	if *bucket <= 0 {
 		fmt.Fprintln(stderr, "dstrace: -bucket must be positive")
 		return 2
 	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "dstrace: -compare needs exactly two trace files")
+			return 2
+		}
+		if *rel < 0 || *absMS < 0 {
+			fmt.Fprintln(stderr, "dstrace: -rel and -abs-ms must be non-negative")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), ptrace.Thresholds{
+			Rel:     *rel,
+			AbsTime: units.Time(*absMS * float64(units.Millisecond)),
+		}, units.FromDuration(*bucket), *rows, stdout, stderr)
 	}
-	d, err := ptrace.Read(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	if *in == "" {
+		fmt.Fprintln(stderr, "dstrace: -in is required")
+		return 2
 	}
-
-	fmt.Fprintf(stdout, "trace: %s (%d hops)\n", *in, len(d.Hops))
-	fmt.Fprint(stdout, ptrace.Analyze(d, units.FromDuration(*bucket)).Format())
 
 	if *frames != "" {
+		// Frame-loss attribution walks the events twice, so this path
+		// materializes the trace; the plain summary below streams it.
+		d, format, code := readTrace(*in, stderr)
+		if code != 0 {
+			return code
+		}
+		fmt.Fprintf(stdout, "trace: %s (%s, %d events, %d hops)\n",
+			*in, format, len(d.Events), len(d.Hops))
+		fmt.Fprint(stdout, ptrace.Analyze(d, units.FromDuration(*bucket)).Format())
 		ff, err := os.Open(*frames)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
@@ -86,6 +107,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nframe-loss attribution against %s:\n", *frames)
 		fmt.Fprint(stdout, ptrace.AttributeFrameLoss(d, ft).Format(*top))
+		return 0
+	}
+
+	s, info, code := analyzeFile(*in, units.FromDuration(*bucket), stderr)
+	if code != 0 {
+		return code
+	}
+	fmt.Fprintf(stdout, "trace: %s (%s, %d events, %d hops)\n",
+		*in, info.Format, info.Events, info.Hops)
+	fmt.Fprint(stdout, s.Format())
+	return 0
+}
+
+// readTrace opens and fully decodes a trace. The non-zero return is
+// the process exit code: 1 when the file cannot be opened, 2 when it
+// opens but is not a readable trace (garbage or truncated).
+func readTrace(path string, stderr io.Writer) (*ptrace.Data, ptrace.Format, int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, ptrace.FormatUnknown, 1
+	}
+	defer f.Close()
+	d, format, err := ptrace.ReadFormat(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "dstrace: %s: unreadable or truncated trace: %v\n", path, err)
+		return nil, format, 2
+	}
+	return d, format, 0
+}
+
+// analyzeFile streams a trace file through the bounded-memory digest,
+// with the same exit-code convention as readTrace.
+func analyzeFile(path string, bucket units.Time, stderr io.Writer) (*ptrace.Summary, ptrace.StreamInfo, int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, ptrace.StreamInfo{}, 1
+	}
+	defer f.Close()
+	s, info, err := ptrace.AnalyzeStream(f, bucket)
+	if err != nil {
+		fmt.Fprintf(stderr, "dstrace: %s: unreadable or truncated trace: %v\n", path, err)
+		return nil, info, 2
+	}
+	return s, info, 0
+}
+
+// runCompare digests two traces (any format mix) and renders their
+// per-hop/per-flow delta table. Exit 1 on any threshold breach.
+func runCompare(pathA, pathB string, th ptrace.Thresholds, bucket units.Time, rows int, stdout, stderr io.Writer) int {
+	sa, ia, code := analyzeFile(pathA, bucket, stderr)
+	if code != 0 {
+		return code
+	}
+	sb, ib, code := analyzeFile(pathB, bucket, stderr)
+	if code != 0 {
+		return code
+	}
+	fmt.Fprintf(stdout, "a: %s (%s, %d events)\nb: %s (%s, %d events)\n",
+		pathA, ia.Format, ia.Events, pathB, ib.Format, ib.Events)
+	diff := ptrace.CompareSummaries(sa, sb, th)
+	fmt.Fprint(stdout, diff.Format(rows))
+	if diff.Breaches > 0 {
+		fmt.Fprintf(stderr, "dstrace: %d behavioral threshold breach(es)\n", diff.Breaches)
+		return 1
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,12 +60,45 @@ func TestRunRejectsNonTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	code, _, errOut := runCapture(t, "-in", path)
-	if code != 1 {
-		t.Fatalf("exit %d, want 1", code)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
-	if !strings.Contains(errOut, "ptrace") {
-		t.Errorf("stderr %q does not identify the format error", errOut)
+	if !strings.Contains(errOut, "unreadable or truncated trace") {
+		t.Errorf("stderr %q does not identify the decode failure", errOut)
 	}
+}
+
+func TestRunRejectsTruncatedV2(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := traceTandem(t, dir)
+	d, err := readData(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteV2To(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.ptrace")
+	if err := os.WriteFile(cut, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCapture(t, "-in", cut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "unreadable or truncated trace") {
+		t.Errorf("stderr %q does not identify the truncation", errOut)
+	}
+}
+
+func readData(path string) (*ptrace.Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ptrace.Read(f)
 }
 
 // traceTandem runs one traced tandem simulation and writes both the
@@ -131,5 +165,117 @@ func TestRunSummarizesTandemTrace(t *testing.T) {
 	}
 	if !strings.Contains(out, "border") {
 		t.Errorf("no border blamed for any frame:\n%s", out)
+	}
+}
+
+// TestRunHeaderShowsFormat pins the satellite: the header line names
+// the detected encoding and the decoded event count for both formats.
+func TestRunHeaderShowsFormat(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := traceTandem(t, dir)
+	d, err := readData(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(dir, "run-v2.ptrace")
+	f, err := os.Create(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteV2To(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out, errOut := runCapture(t, "-in", pt)
+	if code != 0 {
+		t.Fatalf("jsonl: exit %d: %s", code, errOut)
+	}
+	wantEvents := fmt.Sprintf("%d events", len(d.Events))
+	if !strings.Contains(out, "(jsonl, ") || !strings.Contains(out, wantEvents) {
+		t.Errorf("jsonl header lacks format/count: %q", firstLine(out))
+	}
+
+	code, out, errOut = runCapture(t, "-in", v2)
+	if code != 0 {
+		t.Fatalf("v2: exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "(binary-v2, ") || !strings.Contains(out, wantEvents) {
+		t.Errorf("v2 header lacks format/count: %q", firstLine(out))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestCompareUsage(t *testing.T) {
+	if code, _, _ := runCapture(t, "-compare", "one.ptrace"); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-compare", "-rel", "-0.5", "a", "b"); code != 2 {
+		t.Errorf("negative rel: exit %d, want 2", code)
+	}
+}
+
+// TestCompareSelfAndPerturbed pins the tentpole acceptance criteria:
+// a run compared against itself (across formats) reports zero deltas
+// and exits 0; a perturbed run breaches and exits non-zero.
+func TestCompareSelfAndPerturbed(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := traceTandem(t, dir)
+	d, err := readData(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(dir, "run-v2.ptrace")
+	f, err := os.Create(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteV2To(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Self-compare, mixing encodings: the digest must be identical.
+	code, out, errOut := runCapture(t, "-compare", pt, v2)
+	if code != 0 {
+		t.Fatalf("self-compare exit %d: %s\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "no behavioral deltas") {
+		t.Errorf("self-compare output lacks the clean verdict:\n%s", out)
+	}
+
+	// Perturb: drop the last quarter of the events. Counts shift, so
+	// the exact (zero-threshold) gate must breach.
+	perturbed := &ptrace.Data{Hops: d.Hops, Seen: d.Seen,
+		Events: d.Events[:len(d.Events)*3/4]}
+	pp := filepath.Join(dir, "perturbed.ptrace")
+	pf, err := os.Create(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perturbed.WriteV2To(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	code, out, errOut = runCapture(t, "-compare", pt, pp)
+	if code != 1 {
+		t.Fatalf("perturbed compare exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(out, "BREACH") || !strings.Contains(errOut, "breach") {
+		t.Errorf("perturbed compare did not flag breaches:\nstdout:\n%s\nstderr:\n%s", out, errOut)
+	}
+
+	// A huge relative tolerance swallows the count shifts: exit 0 even
+	// though deltas are listed.
+	code, out, errOut = runCapture(t, "-compare", "-rel", "100", "-abs-ms", "1e9", pt, pp)
+	if code != 0 {
+		t.Fatalf("tolerant compare exit %d, want 0: %s\n%s", code, errOut, out)
 	}
 }

@@ -99,11 +99,20 @@
 // bounded per-run Recorder (ring + head pinning + sampling + kind and
 // flow filters). Disabled tracing is a pointer comparison per tap
 // point and the hot paths keep their zero-allocation budget; enabled
-// tracing writes into preallocated storage. Traces export as
-// versioned JSONL ("dsbench -trace DIR"), and cmd/dstrace summarizes
-// them offline: per-hop drop and residence-delay breakdown, policer
-// verdict timelines, per-flow latency percentiles, and frame-loss
-// attribution by joining against the client's frame trace.
+// tracing writes into preallocated storage. Traces export in two
+// sniffed-on-read formats — versioned JSONL and the ~5×-denser
+// delta-packed binary v2, whose trailer-placed totals let the
+// Recorder spill a complete filtered capture to disk during the run
+// ("dsbench -trace DIR -trace-spill"), unbounded by the in-RAM ring
+// and atomically published. cmd/dstrace summarizes either format in
+// one bounded-memory streaming pass (counts, Welford moments and P²
+// sketches per hop and flow, never the event slice): per-hop drop and
+// residence-delay breakdown, policer verdict timelines, per-flow
+// latency percentiles, frame-loss attribution by joining against the
+// client's frame trace, and behavioral regression diffing ("dstrace
+// -compare a.ptrace b.ptrace"), which joins two runs' digests into a
+// per-hop/per-flow delta table and exits non-zero on a threshold
+// breach — a CI gate for drift the figure goldens summarize away.
 //
 // The per-packet hot paths are allocation-free: packet.Handler.Handle
 // takes ownership of its packet ("forward it, hold it, or terminate

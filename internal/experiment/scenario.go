@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -67,12 +68,21 @@ type Ctx struct {
 
 // NewRecorder returns a bounded packet-trace recorder per the run's
 // trace request, or nil when tracing is off — which is exactly the
-// nil Tap the topology layer interprets as "disabled".
+// nil Tap the topology layer interprets as "disabled". When the
+// request asks for spilling, the recorder streams its capture to a
+// temporary file in the trace directory as the run progresses;
+// SaveTrace seals and renames it into place.
 func (c *Ctx) NewRecorder() *ptrace.Recorder {
 	if c == nil || c.Trace == nil {
 		return nil
 	}
-	return ptrace.NewRecorder(c.Trace.Config)
+	rec := ptrace.NewRecorder(c.Trace.Config)
+	if c.Trace.Spill {
+		if err := c.Trace.startSpill(rec); err != nil {
+			panic(fmt.Sprintf("experiment: trace spill: %v", err))
+		}
+	}
+	return rec
 }
 
 // SaveTrace writes rec under the trace directory as
@@ -95,9 +105,49 @@ type TraceRequest struct {
 	Dir    string
 	Config ptrace.Config
 
+	// Format selects the on-disk encoding: "jsonl" (the default,
+	// ptrace v1) or "v2" (binary). Spilled traces are always v2 — the
+	// JSONL header carries the event count up front, so it cannot be
+	// streamed during a run.
+	Format string
+
+	// Spill streams every capture-surviving event to disk as the run
+	// progresses, unbounded by Config.Capacity: the complete filtered
+	// capture lands in the .ptrace file while the in-RAM ring stays at
+	// its fixed size. Sampling (Config.Sample) still applies, which is
+	// what keeps a fleet-scale spill file's size in hand.
+	Spill bool
+
 	scenario string
 	mu       sync.Mutex
 	files    []string
+	spills   map[*ptrace.Recorder]*spillState
+}
+
+// spillState is one recorder's open spill file, held until SaveTrace
+// seals and renames it.
+type spillState struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// startSpill opens a temporary spill file next to the final trace
+// location (same directory, so the sealing rename stays atomic) and
+// attaches it to the recorder.
+func (tr *TraceRequest) startSpill(rec *ptrace.Recorder) error {
+	f, err := os.CreateTemp(tr.Dir, ".spill-*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	rec.SpillTo(bw)
+	tr.mu.Lock()
+	if tr.spills == nil {
+		tr.spills = map[*ptrace.Recorder]*spillState{}
+	}
+	tr.spills[rec] = &spillState{f: f, bw: bw}
+	tr.mu.Unlock()
+	return nil
 }
 
 // Files lists the trace files written so far (base names).
@@ -120,20 +170,58 @@ func sanitizeLabel(s string) string {
 	}, s)
 }
 
+// save writes the recorder's capture to its final name atomically:
+// the bytes land in a temporary file in the same directory and only an
+// os.Rename publishes them, so a crashed or interrupted run never
+// leaves a half-written .ptrace that a later dstrace would trip over.
+// Spilled recorders already streamed their events; save seals the v2
+// trailer and renames the spill file into place.
 func (tr *TraceRequest) save(label string, rec *ptrace.Recorder) error {
 	name := sanitizeLabel(tr.scenario + "-" + label + ".ptrace")
 	path := filepath.Join(tr.Dir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	_, werr := rec.Data().WriteTo(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	if cerr != nil {
-		return cerr
+
+	tr.mu.Lock()
+	sp := tr.spills[rec]
+	delete(tr.spills, rec)
+	tr.mu.Unlock()
+
+	if sp != nil {
+		err := rec.FinishSpill()
+		if ferr := sp.bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := sp.f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(sp.f.Name(), path)
+		}
+		if err != nil {
+			os.Remove(sp.f.Name())
+			return err
+		}
+	} else {
+		f, err := os.CreateTemp(tr.Dir, ".ptrace-*")
+		if err != nil {
+			return err
+		}
+		d := rec.Data()
+		var werr error
+		if tr.Format == "v2" {
+			_, werr = d.WriteV2To(f)
+		} else {
+			_, werr = d.WriteTo(f)
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(f.Name(), path)
+		}
+		if werr != nil {
+			os.Remove(f.Name())
+			return werr
+		}
 	}
 	tr.mu.Lock()
 	tr.files = append(tr.files, name)

@@ -96,3 +96,71 @@ func TestTandemTraceFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestTandemTraceSpill drives the spill plumbing end to end: with
+// Spill set, every trace file holds the *complete* filtered capture —
+// past the tiny configured ring — in the binary v2 encoding, written
+// atomically (no temporary files survive), and the figure stays
+// byte-identical to the untraced run.
+func TestTandemTraceSpill(t *testing.T) {
+	t.Parallel()
+	spec := reducedTandem()
+	dir := t.TempDir()
+	const ringCap = 512 // far below the runs' verdict counts
+	tr := &TraceRequest{Dir: dir, Config: ptrace.Config{
+		Capacity: ringCap, Kinds: ptrace.VerdictKinds(),
+	}, Spill: true}
+	traced := RunScenarioTrace(spec, 2, tr)
+	plain := RunScenario(spec, 0)
+	if traced.Format() != plain.Format() {
+		t.Errorf("spill tracing changed the figure:\n%s\nvs\n%s", traced.Format(), plain.Format())
+	}
+	files := tr.Files()
+	if len(files) != 4 {
+		t.Fatalf("wrote %d trace files, want 4: %v", len(files), files)
+	}
+	spilledPastCap := false
+	for _, name := range files {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, format, err := ptrace.ReadFormat(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if format != ptrace.FormatV2 {
+			t.Errorf("%s: spilled as %v, want binary v2", name, format)
+		}
+		if len(d.Events) > ringCap {
+			spilledPastCap = true
+		}
+		// The spill is the complete filtered capture: with no sampling
+		// configured, every filter-surviving event must be present, and
+		// timestamps must be monotone (stream order).
+		var last units.Time
+		for i, e := range d.Events {
+			if e.T < last {
+				t.Fatalf("%s: event %d out of order", name, i)
+			}
+			last = e.T
+		}
+	}
+	if !spilledPastCap {
+		t.Error("no capture exceeded the ring capacity; spill bound untested")
+	}
+	// Atomicity: only the four sealed .ptrace files remain — no .spill-*
+	// or .ptrace-* temporaries.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("trace dir holds %v, want exactly the 4 sealed traces", names)
+	}
+}

@@ -10,25 +10,12 @@ import (
 	"repro/internal/units"
 )
 
-// Quantiles summarizes a delay sample set.
+// Quantiles summarizes a delay sample stream. Max and N are exact;
+// the percentiles are P² sketch estimates (see digest.go), which
+// converge on the exact order statistics as the stream grows.
 type Quantiles struct {
 	N                  int
 	P50, P90, P99, Max units.Time
-}
-
-func quantiles(samples []units.Time) Quantiles {
-	q := Quantiles{N: len(samples)}
-	if len(samples) == 0 {
-		return q
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	at := func(p float64) units.Time {
-		i := int(p * float64(len(samples)-1))
-		return samples[i]
-	}
-	q.P50, q.P90, q.P99 = at(0.50), at(0.90), at(0.99)
-	q.Max = samples[len(samples)-1]
-	return q
 }
 
 func ms(t units.Time) float64 { return float64(t) / float64(units.Millisecond) }
@@ -74,110 +61,15 @@ type Summary struct {
 }
 
 // Analyze digests a capture. bucket sets the verdict-timeline
-// granularity (<= 0 means 1 s).
+// granularity (<= 0 means 1 s). It is a single pass over the events
+// through the same bounded-memory Digester that AnalyzeStream feeds
+// straight from a file, so the two agree exactly on any trace.
 func Analyze(d *Data, bucket units.Time) *Summary {
-	if bucket <= 0 {
-		bucket = units.Second
-	}
-	s := &Summary{Seen: d.Seen, Retained: len(d.Events)}
-	if len(d.Events) > 0 {
-		s.Span = d.Events[len(d.Events)-1].T - d.Events[0].T
-	}
-
-	nh := len(d.Hops)
-	hops := make([]HopStats, nh)
-	for i := range hops {
-		hops[i].Name = d.Hops[i]
-	}
-	residence := make([][]units.Time, nh)
-	flowDelay := map[packet.FlowID][]units.Time{}
-	flowDrops := map[packet.FlowID]int{}
-	flowDelivered := map[packet.FlowID]int{}
-	type bucketKey struct {
-		hop HopID
-		t   int64
-	}
-	timeline := map[bucketKey]*VerdictBucket{}
-
+	g := NewDigester(bucket)
 	for _, e := range d.Events {
-		if int(e.Hop) >= nh || e.Kind >= numKinds {
-			continue // corrupt hop id or kind; skip rather than crash the tool
-		}
-		h := &hops[e.Hop]
-		h.Counts[e.Kind]++
-		if e.Kind.IsDrop() {
-			h.Drops++
-			flowDrops[e.Flow]++
-		}
-		switch e.Kind {
-		case LinkEnqueue:
-			if e.QLen > h.MaxQLen {
-				h.MaxQLen = e.QLen
-			}
-		case LinkTx:
-			residence[e.Hop] = append(residence[e.Hop], e.Delay)
-		case Deliver:
-			flowDelivered[e.Flow]++
-			flowDelay[e.Flow] = append(flowDelay[e.Flow], e.Delay)
-		case PolicerPass, PolicerDemote, PolicerDrop, ShaperRelease, ShaperDrop:
-			k := bucketKey{e.Hop, int64(e.T / bucket)}
-			b := timeline[k]
-			if b == nil {
-				b = &VerdictBucket{Hop: d.HopName(e.Hop), Start: units.Time(k.t) * bucket}
-				timeline[k] = b
-			}
-			switch e.Kind {
-			case PolicerPass, ShaperRelease:
-				b.Pass++
-			case PolicerDemote:
-				b.Demote++
-			default:
-				b.Drops++
-			}
-		}
+		g.Add(e)
 	}
-
-	for i := range hops {
-		hops[i].Residence = quantiles(residence[i])
-		// Only report hops that saw anything.
-		if hopTotal(&hops[i]) > 0 {
-			s.Hops = append(s.Hops, hops[i])
-		}
-	}
-	var flows []packet.FlowID
-	for f := range flowDelivered {
-		flows = append(flows, f)
-	}
-	for f := range flowDrops {
-		if _, ok := flowDelivered[f]; !ok {
-			flows = append(flows, f)
-		}
-	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
-	for _, f := range flows {
-		s.Flows = append(s.Flows, FlowStats{
-			Flow: f, Delivered: flowDelivered[f], Drops: flowDrops[f],
-			OneWay: quantiles(flowDelay[f]),
-		})
-	}
-	for _, b := range timeline {
-		s.Timeline = append(s.Timeline, *b)
-	}
-	sort.Slice(s.Timeline, func(i, j int) bool {
-		if s.Timeline[i].Hop != s.Timeline[j].Hop {
-			return s.Timeline[i].Hop < s.Timeline[j].Hop
-		}
-		return s.Timeline[i].Start < s.Timeline[j].Start
-	})
-	return s
-}
-
-func hopTotal(h *HopStats) int {
-	t := 0
-	for _, c := range h.Counts {
-		t += c
-	}
-	return t
+	return g.Summarize(d.Hops, d.Seen)
 }
 
 // Format renders the summary as aligned text tables.

@@ -1,0 +1,257 @@
+package ptrace
+
+// Behavioral regression diffing. Two runs of the "same" experiment —
+// before and after a scheduler, policer or batching change — can agree
+// on every figure yet behave differently underneath: drops moving
+// from one hop to another, residence percentiles fattening, verdicts
+// shifting from pass to demote. CompareSummaries joins two trace
+// digests into a per-hop/per-flow delta table with configurable
+// relative thresholds, and dstrace -compare turns a breach into a
+// non-zero exit — a behavioral regression gate for CI, beside the
+// figure-diff gate the golden tests already provide.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Thresholds configures when a delta counts as a breach. The zero
+// value is the strictest gate: any difference breaches — which is
+// exactly what comparing a run against itself (or a supposedly
+// equivalent refactor) wants.
+type Thresholds struct {
+	// Rel is the relative tolerance: a field breaches when
+	// |b-a| > Rel × max(|a|, 1). Zero means exact.
+	Rel float64
+	// AbsTime is an absolute noise floor for delay fields: a delay
+	// delta within AbsTime never breaches, whatever its relative size.
+	// Keeps nanosecond jitter on microsecond percentiles from tripping
+	// a relative gate.
+	AbsTime units.Time
+}
+
+// FieldDelta is one compared metric of a hop or flow.
+type FieldDelta struct {
+	Field  string
+	A, B   float64
+	IsTime bool // values are units.Time nanoseconds (rendered as ms)
+	Breach bool
+}
+
+// EntityDelta is one hop's or flow's differing fields. Entities whose
+// fields all match are counted but not listed.
+type EntityDelta struct {
+	Name   string
+	Only   string // "a" or "b" when the entity exists in one run only
+	Fields []FieldDelta
+	Breach bool
+}
+
+// Diff is the join of two trace summaries.
+type Diff struct {
+	Hops, Flows   []EntityDelta // entities with ≥ 1 differing field
+	HopsCompared  int
+	FlowsCompared int
+	// Breaches counts threshold-breaching fields, plus one per entity
+	// present in only one run.
+	Breaches   int
+	Thresholds Thresholds
+}
+
+func (t Thresholds) countBreach(a, b float64) bool {
+	return math.Abs(b-a) > t.Rel*math.Max(math.Abs(a), 1)
+}
+
+func (t Thresholds) timeBreach(a, b float64) bool {
+	d := math.Abs(b - a)
+	return d > float64(t.AbsTime) && d > t.Rel*math.Max(math.Abs(a), 1)
+}
+
+// delta records one field pair, marking breaches per the thresholds.
+func (t Thresholds) delta(out []FieldDelta, field string, a, b float64, isTime bool) []FieldDelta {
+	if a == b {
+		return out
+	}
+	breach := t.countBreach(a, b)
+	if isTime {
+		breach = t.timeBreach(a, b)
+	}
+	return append(out, FieldDelta{Field: field, A: a, B: b, IsTime: isTime, Breach: breach})
+}
+
+func (t Thresholds) hopDelta(a, b *HopStats) []FieldDelta {
+	var out []FieldDelta
+	out = t.delta(out, "enqueue", float64(a.Counts[LinkEnqueue]), float64(b.Counts[LinkEnqueue]), false)
+	out = t.delta(out, "tx", float64(a.Counts[LinkTx]), float64(b.Counts[LinkTx]), false)
+	out = t.delta(out, "deliver", float64(a.Counts[LinkDeliver]+a.Counts[Deliver]),
+		float64(b.Counts[LinkDeliver]+b.Counts[Deliver]), false)
+	out = t.delta(out, "drops", float64(a.Drops), float64(b.Drops), false)
+	out = t.delta(out, "pass", float64(a.Counts[PolicerPass]+a.Counts[ShaperRelease]),
+		float64(b.Counts[PolicerPass]+b.Counts[ShaperRelease]), false)
+	out = t.delta(out, "demote", float64(a.Counts[PolicerDemote]), float64(b.Counts[PolicerDemote]), false)
+	out = t.delta(out, "maxQ", float64(a.MaxQLen), float64(b.MaxQLen), false)
+	out = t.delta(out, "res-p50", float64(a.Residence.P50), float64(b.Residence.P50), true)
+	out = t.delta(out, "res-p99", float64(a.Residence.P99), float64(b.Residence.P99), true)
+	return out
+}
+
+func (t Thresholds) flowDelta(a, b *FlowStats) []FieldDelta {
+	var out []FieldDelta
+	out = t.delta(out, "delivered", float64(a.Delivered), float64(b.Delivered), false)
+	out = t.delta(out, "drops", float64(a.Drops), float64(b.Drops), false)
+	out = t.delta(out, "oneway-p50", float64(a.OneWay.P50), float64(b.OneWay.P50), true)
+	out = t.delta(out, "oneway-p99", float64(a.OneWay.P99), float64(b.OneWay.P99), true)
+	out = t.delta(out, "oneway-max", float64(a.OneWay.Max), float64(b.OneWay.Max), true)
+	return out
+}
+
+// CompareSummaries joins two digests entity by entity: hops by name,
+// flows by id. An entity present in only one run is always a breach —
+// a hop appearing or vanishing is the loudest behavioral diff there
+// is.
+func CompareSummaries(a, b *Summary, th Thresholds) *Diff {
+	d := &Diff{Thresholds: th}
+
+	ah := map[string]*HopStats{}
+	for i := range a.Hops {
+		ah[a.Hops[i].Name] = &a.Hops[i]
+	}
+	seen := map[string]bool{}
+	for i := range b.Hops {
+		name := b.Hops[i].Name
+		seen[name] = true
+		d.HopsCompared++
+		if ha := ah[name]; ha != nil {
+			fields := th.hopDelta(ha, &b.Hops[i])
+			d.addEntity(&d.Hops, EntityDelta{Name: name, Fields: fields})
+		} else {
+			d.addEntity(&d.Hops, EntityDelta{Name: name, Only: "b", Breach: true})
+		}
+	}
+	for i := range a.Hops {
+		if !seen[a.Hops[i].Name] {
+			d.HopsCompared++
+			d.addEntity(&d.Hops, EntityDelta{Name: a.Hops[i].Name, Only: "a", Breach: true})
+		}
+	}
+
+	af := map[string]*FlowStats{}
+	for i := range a.Flows {
+		af[fmt.Sprint(a.Flows[i].Flow)] = &a.Flows[i]
+	}
+	fseen := map[string]bool{}
+	for i := range b.Flows {
+		name := fmt.Sprint(b.Flows[i].Flow)
+		fseen[name] = true
+		d.FlowsCompared++
+		if fa := af[name]; fa != nil {
+			fields := th.flowDelta(fa, &b.Flows[i])
+			d.addEntity(&d.Flows, EntityDelta{Name: "flow " + name, Fields: fields})
+		} else {
+			d.addEntity(&d.Flows, EntityDelta{Name: "flow " + name, Only: "b", Breach: true})
+		}
+	}
+	for i := range a.Flows {
+		name := fmt.Sprint(a.Flows[i].Flow)
+		if !fseen[name] {
+			d.FlowsCompared++
+			d.addEntity(&d.Flows, EntityDelta{Name: "flow " + name, Only: "a", Breach: true})
+		}
+	}
+	return d
+}
+
+// addEntity files an entity under the diff when it differs at all,
+// folding its breach count into the total.
+func (d *Diff) addEntity(list *[]EntityDelta, e EntityDelta) {
+	if e.Only != "" {
+		d.Breaches++
+		*list = append(*list, e)
+		return
+	}
+	if len(e.Fields) == 0 {
+		return
+	}
+	for _, f := range e.Fields {
+		if f.Breach {
+			e.Breach = true
+			d.Breaches++
+		}
+	}
+	*list = append(*list, e)
+}
+
+// Clean reports whether the two runs matched exactly — no differing
+// entity anywhere, breach thresholds aside.
+func (d *Diff) Clean() bool { return len(d.Hops) == 0 && len(d.Flows) == 0 }
+
+// Format renders the delta table. maxRows bounds the listed entities
+// per section (breaching entities are listed first; <= 0 lists all).
+func (d *Diff) Format(maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared: %d hops, %d flows (rel tol %.3g, abs floor %.3g ms)\n",
+		d.HopsCompared, d.FlowsCompared, d.Thresholds.Rel,
+		float64(d.Thresholds.AbsTime)/float64(units.Millisecond))
+	if d.Clean() {
+		b.WriteString("no behavioral deltas: the runs are identical under this digest\n")
+		return b.String()
+	}
+	d.section(&b, "per-hop deltas", d.Hops, maxRows)
+	d.section(&b, "per-flow deltas", d.Flows, maxRows)
+	fmt.Fprintf(&b, "\n%d threshold breach(es)\n", d.Breaches)
+	return b.String()
+}
+
+func (d *Diff) section(b *strings.Builder, title string, list []EntityDelta, maxRows int) {
+	if len(list) == 0 {
+		return
+	}
+	// Breaching entities first, stable within each class.
+	ordered := make([]EntityDelta, 0, len(list))
+	for _, e := range list {
+		if e.Breach {
+			ordered = append(ordered, e)
+		}
+	}
+	breaching := len(ordered)
+	for _, e := range list {
+		if !e.Breach {
+			ordered = append(ordered, e)
+		}
+	}
+	fmt.Fprintf(b, "\n%s (%d differing, %d breaching):\n", title, len(list), breaching)
+	fmt.Fprintf(b, "%-16s %-12s %14s %14s %14s  %s\n", "entity", "field", "a", "b", "delta", "")
+	rows := 0
+	for _, e := range ordered {
+		if maxRows > 0 && rows >= maxRows {
+			fmt.Fprintf(b, "  ... %d more entities\n", len(ordered)-rows)
+			break
+		}
+		rows++
+		if e.Only != "" {
+			fmt.Fprintf(b, "%-16s %-12s %44s  BREACH\n", e.Name, "(presence)",
+				"only in "+e.Only)
+			continue
+		}
+		for i, f := range e.Fields {
+			name := e.Name
+			if i > 0 {
+				name = ""
+			}
+			mark := ""
+			if f.Breach {
+				mark = "BREACH"
+			}
+			av, bv := f.A, f.B
+			if f.IsTime {
+				av /= float64(units.Millisecond)
+				bv /= float64(units.Millisecond)
+			}
+			fmt.Fprintf(b, "%-16s %-12s %14.6g %14.6g %+14.6g  %s\n",
+				name, f.Field, av, bv, bv-av, mark)
+		}
+	}
+}

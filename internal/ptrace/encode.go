@@ -72,30 +72,79 @@ func (d *Data) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// Read parses the JSONL encoding produced by WriteTo.
+// Read parses either trace encoding — the JSONL v1 produced by
+// WriteTo or the binary v2 produced by WriteV2To — sniffing the
+// format from the leading bytes, so every consumer accepts both
+// transparently.
 func Read(r io.Reader) (*Data, error) {
-	sc := bufio.NewScanner(r)
+	d, _, err := ReadFormat(r)
+	return d, err
+}
+
+// ReadFormat is Read, also reporting which encoding the input used.
+func ReadFormat(r io.Reader) (*Data, Format, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	format, err := sniff(br)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	d := &Data{}
+	collect := func(e Event) error {
+		d.Events = append(d.Events, e)
+		return nil
+	}
+	switch format {
+	case FormatV2:
+		hops, seen, _, err := streamV2(br, collect)
+		if err != nil {
+			return nil, format, err
+		}
+		d.Hops, d.Seen = hops, seen
+	default:
+		hdr, err := streamJSONL(br, collect)
+		if err != nil {
+			return nil, format, err
+		}
+		d.Hops, d.Seen = hdr.Hops, hdr.Seen
+	}
+	return d, format, nil
+}
+
+// sniff identifies the trace encoding from the buffered input's
+// leading bytes without consuming them.
+func sniff(br *bufio.Reader) (Format, error) {
+	lead, err := br.Peek(1)
+	if err != nil {
+		return FormatUnknown, fmt.Errorf("ptrace: empty input")
+	}
+	switch {
+	case lead[0] == magicV2[0]:
+		return FormatV2, nil
+	case lead[0] == '{':
+		return FormatJSONL, nil
+	}
+	return FormatUnknown, fmt.Errorf("ptrace: not a packet trace (leading byte 0x%02x is neither JSONL nor v2 magic)", lead[0])
+}
+
+// streamJSONL decodes the JSONL encoding, feeding each event to fn in
+// order. Unlike v2, the header — hop table, seen count — leads the
+// stream, so it is returned immediately usable.
+func streamJSONL(br *bufio.Reader, fn func(Event) error) (header, error) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("ptrace: empty input")
+		return header{}, fmt.Errorf("ptrace: empty input")
 	}
 	var hdr header
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("ptrace: bad header: %w", err)
+		return hdr, fmt.Errorf("ptrace: bad header: %w", err)
 	}
 	if hdr.Format != "ptrace" {
-		return nil, fmt.Errorf("ptrace: not a packet trace (format %q)", hdr.Format)
+		return hdr, fmt.Errorf("ptrace: not a packet trace (format %q)", hdr.Format)
 	}
 	if hdr.Version != Version {
-		return nil, fmt.Errorf("ptrace: unsupported version %d (want %d)", hdr.Version, Version)
+		return hdr, fmt.Errorf("ptrace: unsupported version %d (want %d)", hdr.Version, Version)
 	}
-	// The header's event count is a size hint from untrusted input:
-	// use it for preallocation only within a sane bound.
-	hint := hdr.Events
-	if hint < 0 || hint > 1<<22 {
-		hint = 0
-	}
-	d := &Data{Hops: hdr.Hops, Seen: hdr.Seen, Events: make([]Event, 0, hint)}
 	line := 1
 	for sc.Scan() {
 		line++
@@ -104,12 +153,12 @@ func Read(r io.Reader) (*Data, error) {
 		}
 		var raw []json.Number
 		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
-			return nil, fmt.Errorf("ptrace: line %d: %w", line, err)
+			return hdr, fmt.Errorf("ptrace: line %d: %w", line, err)
 		}
 		if len(raw) != eventFields {
-			return nil, fmt.Errorf("ptrace: line %d: %d fields, want %d", line, len(raw), eventFields)
+			return hdr, fmt.Errorf("ptrace: line %d: %d fields, want %d", line, len(raw), eventFields)
 		}
-		f := make([]int64, eventFields)
+		var f [eventFields]int64
 		var pkt uint64
 		for i, v := range raw {
 			var err error
@@ -119,18 +168,21 @@ func Read(r io.Reader) (*Data, error) {
 				f[i], err = v.Int64()
 			}
 			if err != nil {
-				return nil, fmt.Errorf("ptrace: line %d field %d: %w", line, i, err)
+				return hdr, fmt.Errorf("ptrace: line %d field %d: %w", line, i, err)
 			}
 		}
-		d.Events = append(d.Events, Event{
+		err := fn(Event{
 			T: units.Time(f[0]), Kind: Kind(f[1]), Flag: uint8(f[2]),
 			Hop: HopID(f[3]), Flow: packet.FlowID(f[4]), PktID: pkt,
 			Size: int32(f[6]), DSCP: packet.DSCP(f[7]), QLen: int32(f[8]),
 			FrameSeq: int32(f[9]), Delay: units.Time(f[10]),
 		})
+		if err != nil {
+			return hdr, err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return hdr, err
 	}
-	return d, nil
+	return hdr, nil
 }

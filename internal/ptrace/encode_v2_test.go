@@ -1,0 +1,275 @@
+package ptrace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/ptrace"
+	"repro/internal/units"
+)
+
+// corpusData decodes the tandem fuzz seed — the representative real
+// capture the encoding tests and benchmarks share.
+func corpusData(t testing.TB) *ptrace.Data {
+	t.Helper()
+	d, err := ptrace.Read(bytes.NewReader(tandemSeed()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("tandem seed capture is empty")
+	}
+	return d
+}
+
+func encodeV2(t testing.TB, d *ptrace.Data) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteV2To(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// randomData builds a capture of adversarially jumpy events: every
+// field swings across its full range, so nothing about the delta
+// packing's "fields rarely change" assumption holds.
+func randomData(rng *rand.Rand, n int) *ptrace.Data {
+	d := &ptrace.Data{Hops: []string{"", "a", "hop with spaces", "端"}, Seen: rng.Uint64()}
+	for i := 0; i < n; i++ {
+		d.Events = append(d.Events, ptrace.Event{
+			T:        units.Time(rng.Uint64()),
+			Delay:    units.Time(rng.Uint64()),
+			PktID:    rng.Uint64(),
+			Flow:     packet.FlowID(rng.Uint32()),
+			Size:     int32(rng.Uint32()),
+			QLen:     int32(rng.Uint32()),
+			FrameSeq: int32(rng.Uint32()),
+			Hop:      ptrace.HopID(rng.Uint32()),
+			Kind:     ptrace.Kind(rng.Intn(15)),
+			DSCP:     packet.DSCP(rng.Uint32()),
+			Flag:     uint8(rng.Uint32()),
+		})
+	}
+	return d
+}
+
+// TestV2RoundTripRandomEvents pins exact round-tripping at full field
+// range: wrapping delta arithmetic must reproduce every extreme value,
+// not just the well-behaved captures real runs produce.
+func TestV2RoundTripRandomEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 5, 4095, 4096, 4097, 20000} {
+		d := randomData(rng, n)
+		enc := encodeV2(t, d)
+		got, format, err := ptrace.ReadFormat(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if format != ptrace.FormatV2 {
+			t.Fatalf("n=%d: format %v, want v2", n, format)
+		}
+		if !dataEqual(d, got) {
+			t.Fatalf("n=%d: round trip changed the capture", n)
+		}
+		if again := encodeV2(t, got); !bytes.Equal(enc, again) {
+			t.Fatalf("n=%d: re-encoding is not byte-stable", n)
+		}
+	}
+}
+
+// TestV2RoundTripCorpus pins the same property on the real tandem
+// capture, plus cross-format equivalence: decoding the v2 encoding
+// must equal decoding the JSONL encoding of the same capture.
+func TestV2RoundTripCorpus(t *testing.T) {
+	fromJSONL := corpusData(t)
+	fromV2, err := ptrace.Read(bytes.NewReader(encodeV2(t, fromJSONL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataEqual(fromJSONL, fromV2) {
+		t.Fatal("v2 and JSONL decode to different captures")
+	}
+}
+
+// TestV2RejectsTruncation cuts a valid v2 trace at every length and
+// requires a decode error each time: the trailer's event total makes
+// silent truncation impossible, which is what lets dstrace trust a
+// spilled file from an interrupted run to fail loudly.
+func TestV2RejectsTruncation(t *testing.T) {
+	d := randomData(rand.New(rand.NewSource(3)), 300)
+	enc := encodeV2(t, d)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := ptrace.Read(bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	// Trailing garbage after a complete trace must also fail.
+	if _, err := ptrace.Read(bytes.NewReader(append(append([]byte{}, enc...), 0xFF))); err == nil {
+		t.Fatal("trailing byte after the trailer decoded without error")
+	}
+}
+
+// TestReadFormatSniffs pins the format detection contract.
+func TestReadFormatSniffs(t *testing.T) {
+	d := corpusData(t)
+	var jl bytes.Buffer
+	if _, err := d.WriteTo(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if _, f, err := ptrace.ReadFormat(bytes.NewReader(jl.Bytes())); err != nil || f != ptrace.FormatJSONL {
+		t.Errorf("jsonl: format %v err %v", f, err)
+	}
+	if _, f, err := ptrace.ReadFormat(bytes.NewReader(encodeV2(t, d))); err != nil || f != ptrace.FormatV2 {
+		t.Errorf("v2: format %v err %v", f, err)
+	}
+	if _, _, err := ptrace.ReadFormat(bytes.NewReader([]byte("PK\x03\x04zipfile"))); err == nil {
+		t.Error("garbage sniffed as a trace")
+	}
+	if _, _, err := ptrace.ReadFormat(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input sniffed as a trace")
+	}
+}
+
+// TestV2Density pins the acceptance bar: on the fuzz-corpus tandem
+// capture, v2 must cost at most 1/3 the bytes per event of JSONL.
+func TestV2Density(t *testing.T) {
+	d := corpusData(t)
+	var jl bytes.Buffer
+	if _, err := d.WriteTo(&jl); err != nil {
+		t.Fatal(err)
+	}
+	v2 := encodeV2(t, d)
+	n := float64(len(d.Events))
+	jb, vb := float64(jl.Len())/n, float64(len(v2))/n
+	t.Logf("bytes/event: jsonl %.1f, v2 %.1f (ratio %.2f)", jb, vb, vb/jb)
+	if vb > jb/3 {
+		t.Errorf("v2 costs %.1f bytes/event, more than 1/3 of JSONL's %.1f", vb, jb)
+	}
+}
+
+// FuzzBinaryRoundTrip extends the JSONL fuzz guarantee across both
+// encodings: any input Read accepts — either format — must re-encode
+// to byte-stable v2 that decodes to the same Data, and its JSONL and
+// v2 encodings must decode identically (the differential property the
+// format-sniffing consumers rely on).
+func FuzzBinaryRoundTrip(f *testing.F) {
+	seedData, err := ptrace.Read(bytes.NewReader(tandemSeed()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2Seed bytes.Buffer
+	if _, err := seedData.WriteV2To(&v2Seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2Seed.Bytes())
+	f.Add(tandemSeed())
+	var empty bytes.Buffer
+	if _, err := (&ptrace.Data{}).WriteV2To(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	var extreme bytes.Buffer
+	if _, err := randomData(rand.New(rand.NewSource(1)), 64).WriteV2To(&extreme); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(extreme.Bytes())
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d, err := ptrace.Read(bytes.NewReader(in))
+		if err != nil {
+			return // malformed inputs may be rejected, never crash
+		}
+		var v2 bytes.Buffer
+		if _, err := d.WriteV2To(&v2); err != nil {
+			t.Fatalf("WriteV2To after successful Read: %v", err)
+		}
+		d2, err := ptrace.Read(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of own v2 encoding: %v", err)
+		}
+		if !dataEqual(d, d2) {
+			t.Fatal("v2 round trip changed the capture")
+		}
+		var v2b bytes.Buffer
+		if _, err := d2.WriteV2To(&v2b); err != nil {
+			t.Fatalf("second WriteV2To: %v", err)
+		}
+		if !bytes.Equal(v2.Bytes(), v2b.Bytes()) {
+			t.Fatal("v2 re-encoding is not byte-stable")
+		}
+		// Differential: the JSONL encoding of the same capture decodes
+		// to the same Data the v2 encoding does.
+		var jl bytes.Buffer
+		if _, err := d.WriteTo(&jl); err != nil {
+			t.Fatalf("WriteTo after successful Read: %v", err)
+		}
+		dj, err := ptrace.Read(bytes.NewReader(jl.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of own JSONL encoding: %v", err)
+		}
+		if !dataEqual(dj, d2) {
+			t.Fatal("JSONL and v2 encodings decode to different captures")
+		}
+	})
+}
+
+func benchEncode(b *testing.B, write func(*ptrace.Data, *bytes.Buffer) int64) {
+	d := corpusData(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	var bytesOut int64
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		bytesOut = write(d, &buf)
+	}
+	b.ReportMetric(float64(bytesOut)/float64(len(d.Events)), "bytes/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(d.Events)), "ns/event")
+}
+
+func BenchmarkTraceEncodeJSONL(b *testing.B) {
+	benchEncode(b, func(d *ptrace.Data, buf *bytes.Buffer) int64 {
+		n, err := d.WriteTo(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	})
+}
+
+func BenchmarkTraceEncodeV2(b *testing.B) {
+	benchEncode(b, func(d *ptrace.Data, buf *bytes.Buffer) int64 {
+		n, err := d.WriteV2To(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	})
+}
+
+func benchDecode(b *testing.B, enc []byte, events int) {
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ptrace.Read(bytes.NewReader(enc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+}
+
+func BenchmarkTraceDecodeJSONL(b *testing.B) {
+	d := corpusData(b)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	benchDecode(b, buf.Bytes(), len(d.Events))
+}
+
+func BenchmarkTraceDecodeV2(b *testing.B) {
+	d := corpusData(b)
+	benchDecode(b, encodeV2(b, d), len(d.Events))
+}

@@ -36,6 +36,7 @@ package ptrace
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/packet"
 	"repro/internal/units"
@@ -240,6 +241,10 @@ type Recorder struct {
 
 	hops    []string
 	hopByID map[string]HopID
+
+	// spill, when set, streams every capture-eligible event to an
+	// external writer in the binary v2 encoding, unbounded by Capacity.
+	spill *v2Writer
 }
 
 // NewRecorder returns a recorder with cfg's bounds, storage fully
@@ -302,6 +307,9 @@ func (r *Recorder) Emit(e Event) {
 	}
 	if len(r.head) < cap(r.head) {
 		r.head = append(r.head, e)
+		if r.spill != nil {
+			r.spill.add(e)
+		}
 		return
 	}
 	if e.Kind < numKinds { // out-of-range kinds fall through unsampled
@@ -309,6 +317,12 @@ func (r *Recorder) Emit(e Event) {
 		if r.cfg.Sample > 1 && r.kindSeen[e.Kind]%uint64(r.cfg.Sample) != 0 {
 			return
 		}
+	}
+	// The spill stream gets every event the ring is offered — including
+	// the ones a full ring would overwrite — so a spilled capture is
+	// complete past Capacity while the in-RAM window stays bounded.
+	if r.spill != nil {
+		r.spill.add(e)
 	}
 	if len(r.ring) == 0 {
 		return // head-only capture
@@ -346,4 +360,40 @@ func (r *Recorder) Events() []Event {
 // Data snapshots the recorder into the exportable form.
 func (r *Recorder) Data() *Data {
 	return &Data{Hops: append([]string(nil), r.hops...), Seen: r.seen, Events: r.Events()}
+}
+
+// SpillTo streams every subsequently captured event to w in the binary
+// v2 encoding as it is emitted, unbounded by Config.Capacity: the ring
+// keeps its fixed in-RAM window while the spill stream gets the whole
+// filtered capture. The spill honors the Kind and Flow filters and the
+// per-kind sampling stride (head-phase events are always written), so
+// -trace-sample still bounds a fleet-scale spill file's size. Call
+// before the run starts, and seal the stream with FinishSpill after it
+// ends; w should be buffered — add writes it one small block at a
+// time.
+func (r *Recorder) SpillTo(w io.Writer) {
+	r.spill = newV2Writer(w)
+}
+
+// Spilled reports the events written to the spill stream so far (0
+// when spilling is off).
+func (r *Recorder) Spilled() uint64 {
+	if r.spill == nil {
+		return 0
+	}
+	return r.spill.total
+}
+
+// FinishSpill seals the spill stream's v2 trailer — hop table, seen
+// count, event total — and detaches it, returning the first error the
+// stream hit. Without the trailer the spill file is a truncated trace
+// by construction, so forgetting this shows up loudly at read time.
+// A recorder that never spilled, or already finished, returns nil.
+func (r *Recorder) FinishSpill() error {
+	if r.spill == nil {
+		return nil
+	}
+	_, err := r.spill.finish(r.hops, r.seen)
+	r.spill = nil
+	return err
 }

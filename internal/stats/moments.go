@@ -90,12 +90,22 @@ type P2Quantile struct {
 
 // NewP2Quantile returns a sketch for the p-th quantile, 0 < p < 1.
 func NewP2Quantile(p float64) *P2Quantile {
+	s := &P2Quantile{}
+	s.Init(p)
+	return s
+}
+
+// Init readies a zero-value sketch for the p-th quantile, 0 < p < 1,
+// discarding any prior observations. It exists so aggregates that hold
+// many sketches — one per flow of a fleet-scale trace digest — can
+// embed them by value instead of paying a pointer and an allocation
+// apiece.
+func (s *P2Quantile) Init(p float64) {
 	if p <= 0 || p >= 1 {
 		panic("stats: P2 quantile must be in (0, 1)")
 	}
-	s := &P2Quantile{p: p}
+	*s = P2Quantile{p: p}
 	s.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
-	return s
 }
 
 // P reports the quantile this sketch targets.
