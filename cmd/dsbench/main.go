@@ -11,6 +11,7 @@
 //	dsbench -scale 4                  # thin token sweeps for a quick pass
 //	dsbench -json BENCH.json          # machine-readable scenario results
 //	dsbench -scenario tandem -trace traces/   # dump per-point packet traces
+//	dsbench -scenario-file dumbbell.scenario.json   # compile + run a config-file scenario
 //
 // With -trace DIR every scenario point writes a bounded packet-level
 // trace (<scenario>-<point>.ptrace) that cmd/dstrace summarizes.
@@ -22,12 +23,19 @@
 // the ~5× denser binary v2); -trace-spill streams the complete
 // filtered capture to disk during the run, unbounded by -trace-cap
 // (always binary v2 — sampling still applies, so -trace-sample
-// bounds the file size). Trace files are written atomically (temp
-// file + rename), so an interrupted run never leaves a torn .ptrace.
+// bounds the file size). -trace-digest additionally writes a
+// <point>.digest behavioral summary beside each sealed trace, the
+// currency of the `dstrace -compare-golden` gate. Trace files are
+// written atomically (temp file + rename), so an interrupted run
+// never leaves a torn .ptrace.
 //
 // Figure scenarios come from the experiment scenario registry and are
 // executed on the deterministic runner pool: -parallel changes only
-// wall-clock time, never a byte of output.
+// wall-clock time, never a byte of output. -scenario-file compiles a
+// JSON scenario file (internal/scenfile) into the same registry and
+// runs it under the identical contract — -shards and -bucket-width
+// are honored when the file's declared capabilities allow them and
+// rejected up front otherwise.
 package main
 
 import (
@@ -40,10 +48,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/experiment"
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/ptrace"
+	"repro/internal/scenfile"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -88,13 +98,15 @@ var jsonRecords []scenarioRecord
 
 // traceDir and traceCfg are set by the -trace* flags; when traceDir is
 // non-empty every scenario artifact dumps per-point packet traces.
-// traceFormat picks the encoding ("jsonl" or "v2") and traceSpill
-// streams complete captures during the run (implies v2).
+// traceFormat picks the encoding ("jsonl" or "v2"), traceSpill
+// streams complete captures during the run (implies v2), and
+// traceDigest writes a behavioral .digest beside each sealed trace.
 var (
 	traceDir    string
 	traceCfg    ptrace.Config
 	traceFormat string
 	traceSpill  bool
+	traceDigest bool
 )
 
 type jsonPoint struct {
@@ -259,7 +271,9 @@ func writeJSON(path string) error {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Atomic like every other artifact: a reader polling for the
+	// trajectory file never observes a torn JSON document.
+	return atomicfile.WriteFile(path, data)
 }
 
 func render(f *experiment.Figure) string {
@@ -285,7 +299,7 @@ func scenarioArtifact(s experiment.Scenario) artifact {
 		var tr *experiment.TraceRequest
 		if traceDir != "" {
 			tr = &experiment.TraceRequest{Dir: traceDir, Config: traceCfg,
-				Format: traceFormat, Spill: traceSpill}
+				Format: traceFormat, Spill: traceSpill, Digest: traceDigest}
 		}
 		start := time.Now()
 		fig := experiment.RunScenarioOpts(sc, experiment.RunOptions{
@@ -449,10 +463,56 @@ func shardableNames() []string {
 	return out
 }
 
+// validateScale rejects non-positive -scale values at parse time
+// rather than letting a zero or negative thinning factor produce an
+// empty sweep deep inside a scenario.
+func validateScale(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", n)
+	}
+	return nil
+}
+
+// validateTraceFlow rejects negative -trace-flow values: 0 means
+// "every flow" by documented contract, but a negative id used to
+// silently mean the same thing, turning typos like `-trace-flow -1`
+// into unfiltered captures.
+func validateTraceFlow(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-trace-flow must be >= 0 (0 = every flow), got %d", n)
+	}
+	return nil
+}
+
+// resolveTraceFormat decides the on-disk trace encoding. Spilled
+// traces are always binary v2 (JSONL's header carries the event count
+// up front, so it cannot be streamed during a run): when -trace-format
+// was left at its default the upgrade is silent and documented, but an
+// explicitly requested jsonl combined with -trace-spill is a
+// contradiction, rejected rather than silently overridden.
+func resolveTraceFormat(format string, explicit, spill bool) (string, error) {
+	switch format {
+	case "jsonl":
+		if spill {
+			if explicit {
+				return "", fmt.Errorf("-trace-format jsonl cannot be combined with -trace-spill: spilled traces stream binary v2 (drop one of the flags)")
+			}
+			return "v2", nil
+		}
+		return "jsonl", nil
+	case "v2":
+		return "v2", nil
+	default:
+		return "", fmt.Errorf("-trace-format must be jsonl or v2, got %q", format)
+	}
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available artifacts")
 	run := flag.String("run", "all", "comma-separated artifact names, or 'all'")
 	scenario := flag.String("scenario", "", "run one registered scenario by name (see -list)")
+	scenarioFile := flag.String("scenario-file", "",
+		"compile and register a JSON scenario file (see internal/scenfile); runs it unless -run/-scenario selects otherwise")
 	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 1,
 		"intra-run shard count per simulation (1 = serial; output is identical at any value)")
@@ -472,7 +532,14 @@ func main() {
 		"trace encoding: jsonl (line-oriented v1) or v2 (binary, ~5x denser)")
 	traceSpillFlag := flag.Bool("trace-spill", false,
 		"stream the complete filtered capture to disk during the run, unbounded by -trace-cap (implies -trace-format v2)")
+	traceDigestFlag := flag.Bool("trace-digest", false,
+		"write a behavioral .digest beside each sealed trace (requires -trace; input to dstrace -compare-golden)")
 	flag.Parse()
+	// explicit records which flags the user actually set, so defaults
+	// and deliberate choices can be told apart (resolveTraceFormat,
+	// scenario-file auto-selection).
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 	plotMode = *plot
 	parallelism = *parallel
 	shardCount = *shards
@@ -481,6 +548,14 @@ func main() {
 		os.Exit(2)
 	}
 	bucketWidth = units.Time(*bucket)
+	if err := validateScale(*scale); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := validateTraceFlow(*traceFlow); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	jsonPath = *jsonFlag
 	traceDir = *trace
 	traceCfg = ptrace.Config{Capacity: *traceCap, Head: *traceHead, Sample: *traceSample}
@@ -491,20 +566,31 @@ func main() {
 		traceCfg.Flows = []packet.FlowID{packet.FlowID(*traceFlow)}
 	}
 	traceSpill = *traceSpillFlag
-	switch *traceFormatFlag {
-	case "jsonl":
-		if traceSpill {
-			// JSONL's header carries the event count up front, so it
-			// cannot be streamed during a run; spilled traces are v2.
-			traceFormat = "v2"
-		} else {
-			traceFormat = "jsonl"
-		}
-	case "v2":
-		traceFormat = "v2"
-	default:
-		fmt.Fprintf(os.Stderr, "-trace-format must be jsonl or v2, got %q\n", *traceFormatFlag)
+	var formatErr error
+	traceFormat, formatErr = resolveTraceFormat(*traceFormatFlag, explicit["trace-format"], traceSpill)
+	if formatErr != nil {
+		fmt.Fprintln(os.Stderr, formatErr)
 		os.Exit(2)
+	}
+	traceDigest = *traceDigestFlag
+	if traceDigest && traceDir == "" {
+		fmt.Fprintln(os.Stderr,
+			"-trace-digest requires -trace DIR (digests are written beside the traces they summarize)")
+		os.Exit(2)
+	}
+	if *scenarioFile != "" {
+		s, err := scenfile.LoadAndRegister(*scenarioFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// A scenario file names one workload; run it by default. An
+		// explicit -scenario/-run selection still wins, so a preset
+		// re-expressed as a file can be compared against its Go twin
+		// in a single invocation.
+		if *scenario == "" && !explicit["run"] {
+			*scenario = s.Name()
+		}
 	}
 
 	all := artifacts()

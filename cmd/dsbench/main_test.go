@@ -146,6 +146,104 @@ func TestJSONRecording(t *testing.T) {
 	}
 }
 
+// TestScaleValidation pins the parse-time -scale contract: a thinning
+// factor below 1 is a usage error, never an empty sweep.
+func TestScaleValidation(t *testing.T) {
+	for _, n := range []int{1, 2, 1000} {
+		if err := validateScale(n); err != nil {
+			t.Errorf("-scale %d rejected: %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -1000} {
+		if err := validateScale(n); err == nil {
+			t.Errorf("-scale %d accepted", n)
+		}
+	}
+}
+
+// TestTraceFlowValidation pins the parse-time -trace-flow contract:
+// 0 means every flow, negatives are rejected instead of silently
+// meaning the same thing.
+func TestTraceFlowValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 7} {
+		if err := validateTraceFlow(n); err != nil {
+			t.Errorf("-trace-flow %d rejected: %v", n, err)
+		}
+	}
+	if err := validateTraceFlow(-1); err == nil {
+		t.Error("-trace-flow -1 accepted")
+	}
+}
+
+// TestResolveTraceFormat pins the spill/format interaction: the
+// default format silently upgrades to v2 under -trace-spill, but an
+// explicitly requested jsonl combined with spill is a contradiction
+// and must be rejected, not overridden.
+func TestResolveTraceFormat(t *testing.T) {
+	cases := []struct {
+		format          string
+		explicit, spill bool
+		want            string
+		wantErr         bool
+	}{
+		{"jsonl", false, false, "jsonl", false},
+		{"jsonl", true, false, "jsonl", false},
+		{"jsonl", false, true, "v2", false}, // silent upgrade at default
+		{"jsonl", true, true, "", true},     // explicit contradiction
+		{"v2", false, true, "v2", false},
+		{"v2", true, false, "v2", false},
+		{"proto", true, false, "", true},
+	}
+	for _, c := range cases {
+		got, err := resolveTraceFormat(c.format, c.explicit, c.spill)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("resolveTraceFormat(%q, explicit=%v, spill=%v) = (%q, %v), want (%q, err=%v)",
+				c.format, c.explicit, c.spill, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+// TestWriteJSONAtomic pins the -json publish path: the file appears
+// whole under its final name with no temp debris, and a failed write
+// (unwritable directory) leaves no destination file at all.
+func TestWriteJSONAtomic(t *testing.T) {
+	oldPath, oldRecords, oldParallel := jsonPath, jsonRecords, parallelism
+	defer func() { jsonPath, jsonRecords, parallelism = oldPath, oldRecords, oldParallel }()
+	jsonRecords = nil
+	parallelism = 1
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := writeJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Parallel int `json:"parallel"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		t.Fatalf("torn or invalid JSON: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp debris left beside bench.json: %v", ents)
+	}
+
+	missing := filepath.Join(dir, "no-such-subdir", "bench.json")
+	if err := writeJSON(missing); err == nil {
+		t.Error("writeJSON into a missing directory succeeded")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Errorf("failed write left a destination file: %v", err)
+	}
+}
+
 // TestWidthBlindSelection pins which artifacts reject -bucket-width:
 // exactly the non-scenario ones (static tables, fig6, ablations, the
 // EF service report), and only when actually selected.

@@ -10,7 +10,10 @@
 // hop that dropped its fragments — the "why did this point score what
 // it did" question the figure tables cannot answer. With -compare it
 // diffs two traces' digests per hop and per flow and exits non-zero
-// on a threshold breach: a behavioral regression gate for CI.
+// on a threshold breach: a behavioral regression gate for CI. With
+// -compare-golden it diffs one trace against a stored .digest file
+// (written by `dsbench -trace-digest`), so the baseline side of the
+// gate is a small checked-in artifact instead of a full trace.
 //
 // Examples:
 //
@@ -19,9 +22,11 @@
 //	dstrace -in run.ptrace -bucket 500ms
 //	dstrace -in run.ptrace -frames run.trace -top 20
 //	dstrace -compare base.ptrace candidate.ptrace -rel 0.02 -abs-ms 0.1
+//	dstrace -compare-golden golden.digest run.ptrace
 //
-// Exit codes: 0 success, 1 unreadable input or -compare breach,
-// 2 usage error or unreadable/truncated/garbage trace file.
+// Exit codes: 0 success, 1 unreadable input or a -compare /
+// -compare-golden breach, 2 usage error or unreadable/truncated/
+// garbage trace or digest file.
 package main
 
 import (
@@ -52,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bucket := fs.Duration("bucket", time.Second, "verdict-timeline bucket width")
 	top := fs.Int("top", 10, "max lost frames listed individually (0 = all)")
 	compare := fs.Bool("compare", false, "diff two traces: dstrace -compare a.ptrace b.ptrace")
+	compareGolden := fs.String("compare-golden", "",
+		"diff one trace against a stored digest: dstrace -compare-golden golden.digest run.ptrace")
 	rel := fs.Float64("rel", 0, "-compare relative tolerance per field (0 = exact)")
 	absMS := fs.Float64("abs-ms", 0, "-compare absolute noise floor for delay fields, in ms")
 	rows := fs.Int("rows", 20, "-compare max entities listed per delta table (0 = all)")
@@ -64,6 +71,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *bucket <= 0 {
 		fmt.Fprintln(stderr, "dstrace: -bucket must be positive")
 		return 2
+	}
+	if *compare && *compareGolden != "" {
+		fmt.Fprintln(stderr, "dstrace: -compare and -compare-golden are mutually exclusive")
+		return 2
+	}
+	if *compareGolden != "" {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "dstrace: -compare-golden needs exactly one trace file")
+			return 2
+		}
+		if *rel < 0 || *absMS < 0 {
+			fmt.Fprintln(stderr, "dstrace: -rel and -abs-ms must be non-negative")
+			return 2
+		}
+		return runCompareGolden(*compareGolden, fs.Arg(0), ptrace.Thresholds{
+			Rel:     *rel,
+			AbsTime: units.Time(*absMS * float64(units.Millisecond)),
+		}, *rows, stdout, stderr)
 	}
 	if *compare {
 		if fs.NArg() != 2 {
@@ -153,6 +178,41 @@ func analyzeFile(path string, bucket units.Time, stderr io.Writer) (*ptrace.Summ
 		return nil, info, 2
 	}
 	return s, info, 0
+}
+
+// runCompareGolden diffs one trace against a stored digest file: the
+// golden side is the small .digest artifact `dsbench -trace-digest`
+// wrote, not a full trace. The candidate is analyzed at bucket 0,
+// matching how digests are produced; -bucket does not apply here
+// (CompareSummaries joins hops and flows, never the timeline). Exit
+// codes follow the file-kind convention: an unopenable golden is 1,
+// an unreadable (garbage/foreign/stale-version) golden is 2, and any
+// threshold breach is 1.
+func runCompareGolden(goldenPath, tracePath string, th ptrace.Thresholds, rows int, stdout, stderr io.Writer) int {
+	gf, err := os.Open(goldenPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	golden, err := ptrace.ReadSummary(gf)
+	gf.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "dstrace: %s: %v\n", goldenPath, err)
+		return 2
+	}
+	s, info, code := analyzeFile(tracePath, 0, stderr)
+	if code != 0 {
+		return code
+	}
+	fmt.Fprintf(stdout, "golden: %s\nrun:    %s (%s, %d events)\n",
+		goldenPath, tracePath, info.Format, info.Events)
+	diff := ptrace.CompareSummaries(golden, s, th)
+	fmt.Fprint(stdout, diff.Format(rows))
+	if diff.Breaches > 0 {
+		fmt.Fprintf(stderr, "dstrace: %d behavioral threshold breach(es) against golden\n", diff.Breaches)
+		return 1
+	}
+	return 0
 }
 
 // runCompare digests two traces (any format mix) and renders their

@@ -279,3 +279,103 @@ func TestCompareSelfAndPerturbed(t *testing.T) {
 		t.Fatalf("tolerant compare exit %d, want 0: %s\n%s", code, errOut, out)
 	}
 }
+
+// writeDigestFor analyzes a trace at bucket 0 (the digest-producer
+// convention) and stores its summary as a .digest file.
+func writeDigestFor(t *testing.T, tracePath, digestPath string) {
+	t.Helper()
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, _, err := ptrace.AnalyzeStream(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := os.Create(digestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptrace.WriteSummary(df, s); err != nil {
+		t.Fatal(err)
+	}
+	df.Close()
+}
+
+func TestCompareGoldenUsage(t *testing.T) {
+	if code, _, _ := runCapture(t, "-compare-golden", "g.digest"); code != 2 {
+		t.Errorf("zero traces: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-compare-golden", "g.digest", "a.ptrace", "b.ptrace"); code != 2 {
+		t.Errorf("two traces: exit %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-compare-golden", "g.digest", "-rel", "-1", "a.ptrace"); code != 2 {
+		t.Errorf("negative rel: exit %d, want 2", code)
+	}
+	code, _, errOut := runCapture(t, "-compare", "-compare-golden", "g.digest", "a.ptrace", "b.ptrace")
+	if code != 2 || !strings.Contains(errOut, "mutually exclusive") {
+		t.Errorf("compare+compare-golden: exit %d (%q), want 2 with conflict message", code, errOut)
+	}
+}
+
+// TestCompareGoldenGate pins the golden-digest gate end to end: the
+// stored digest passes against the run that produced it, a perturbed
+// run breaches with exit 1, a garbage digest is a hard 2, and a
+// missing digest file is a 1 like any other unopenable input.
+func TestCompareGoldenGate(t *testing.T) {
+	dir := t.TempDir()
+	pt, _ := traceTandem(t, dir)
+	golden := filepath.Join(dir, "golden.digest")
+	writeDigestFor(t, pt, golden)
+
+	code, out, errOut := runCapture(t, "-compare-golden", golden, pt)
+	if code != 0 {
+		t.Fatalf("self gate exit %d: %s\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "no behavioral deltas") || !strings.Contains(out, "golden:") {
+		t.Errorf("clean gate output unexpected:\n%s", out)
+	}
+
+	// Perturb the run the same way the trace-compare test does: the
+	// zero-threshold gate must breach.
+	d, err := readData(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := &ptrace.Data{Hops: d.Hops, Seen: d.Seen,
+		Events: d.Events[:len(d.Events)*3/4]}
+	pp := filepath.Join(dir, "perturbed.ptrace")
+	pf, err := os.Create(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perturbed.WriteV2To(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	code, out, errOut = runCapture(t, "-compare-golden", golden, pp)
+	if code != 1 {
+		t.Fatalf("perturbed gate exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(out, "BREACH") || !strings.Contains(errOut, "breach") {
+		t.Errorf("perturbed gate did not flag breaches:\nstdout:\n%s\nstderr:\n%s", out, errOut)
+	}
+
+	// Garbage digest: opens fine, is not a digest — usage-class 2.
+	junk := filepath.Join(dir, "junk.digest")
+	if err := os.WriteFile(junk, []byte("not a digest\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCapture(t, "-compare-golden", junk, pt)
+	if code != 2 {
+		t.Fatalf("junk digest exit %d, want 2: %s", code, errOut)
+	}
+
+	// Missing digest file: unopenable input — exit 1.
+	code, _, _ = runCapture(t, "-compare-golden", filepath.Join(dir, "absent.digest"), pt)
+	if code != 1 {
+		t.Fatalf("missing digest exit %d, want 1", code)
+	}
+}

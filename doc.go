@@ -114,6 +114,23 @@
 // per-hop/per-flow delta table and exits non-zero on a threshold
 // breach — a CI gate for drift the figure goldens summarize away.
 //
+// Scenarios are also data: internal/scenfile compiles versioned JSON
+// scenario files into the same experiment.Scenario registry the Go
+// presets live in ("dsbench -scenario-file FILE"). Preset shapes
+// (multiflow, fleet, tandem) mirror the sweep specs field for field —
+// checked-in files re-expressing nflow and tandem are pinned
+// byte-identical to their Go twins, figures, per-flow stats and
+// canonicalized packet traces alike — and the graph shape describes
+// arbitrary element topologies compiled straight onto the topology
+// builder, so workloads like the dumbbell (two edge bottlenecks, a
+// shared core, cross-directional EF video) exist only as config
+// files. Validation rejects malformed files up front with errors that
+// name the offending field, and declared capabilities gate -shards /
+// -bucket-width. Config-file-only workloads are pinned by digest
+// goldens: "dsbench -trace-digest" writes a behavioral summary
+// (.digest) beside each sealed trace and "dstrace -compare-golden
+// GOLDEN.digest RUN.ptrace" gates a run against the stored baseline.
+//
 // The per-packet hot paths are allocation-free: packet.Handler.Handle
 // takes ownership of its packet ("forward it, hold it, or terminate
 // it and release it to the packet.Pool"), every terminal path

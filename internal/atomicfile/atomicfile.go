@@ -1,0 +1,52 @@
+// Package atomicfile publishes files atomically: bytes land in a
+// temporary file in the destination directory and only an os.Rename —
+// atomic on POSIX filesystems — makes them visible under the final
+// name. A crashed or interrupted writer therefore never leaves a torn
+// half-file where a reader (dstrace, a CI artifact collector, a later
+// dsbench run appending to a BENCH_*.json trajectory) expects a whole
+// one. Every artifact the repo writes — packet traces, trace digests,
+// benchmark JSON — routes through this one helper.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteTo streams a file's contents through write and publishes the
+// result at path atomically. If write (or any filesystem step) fails,
+// the temporary file is removed and the destination is left untouched
+// — either the old content or nothing, never a partial write.
+func WriteTo(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	// CreateTemp opens 0600; published artifacts are world-readable
+	// like os.WriteFile's conventional 0644.
+	if err == nil {
+		err = os.Chmod(f.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// WriteFile is the []byte convenience form of WriteTo.
+func WriteFile(path string, data []byte) error {
+	return WriteTo(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

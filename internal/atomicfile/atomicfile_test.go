@@ -1,0 +1,90 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tempLeftovers counts the hidden temp files the helper may have
+// leaked into dir.
+func tempLeftovers(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if e.Name()[0] == '.' {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWriteFilePublishesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Errorf("content %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("perm %o, want 644", perm)
+	}
+	if n := tempLeftovers(t, dir); n != 0 {
+		t.Errorf("%d temp files left behind", n)
+	}
+
+	// Overwrite replaces wholesale.
+	if err := WriteFile(path, []byte("v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2\n" {
+		t.Errorf("overwrite content %q", got)
+	}
+}
+
+func TestWriteToFailureLeavesDestinationUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("original\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteTo(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "original\n" {
+		t.Errorf("destination corrupted: %q", got)
+	}
+	if n := tempLeftovers(t, dir); n != 0 {
+		t.Errorf("%d temp files left behind", n)
+	}
+}
+
+func TestWriteToMissingDirectoryFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "out.json")
+	if err := WriteFile(path, []byte("x")); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}

@@ -3,12 +3,14 @@ package experiment
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/atomicfile"
 	"repro/internal/packet"
 	"repro/internal/ptrace"
 	"repro/internal/runner"
@@ -118,6 +120,12 @@ type TraceRequest struct {
 	// what keeps a fleet-scale spill file's size in hand.
 	Spill bool
 
+	// Digest writes a "<scenario>-<label>.digest" beside every sealed
+	// .ptrace — the bounded ptrace.Summary serialized by
+	// ptrace.WriteSummary — so a run can be gated against a stored
+	// golden with `dstrace -compare-golden`.
+	Digest bool
+
 	scenario string
 	mu       sync.Mutex
 	files    []string
@@ -201,32 +209,48 @@ func (tr *TraceRequest) save(label string, rec *ptrace.Recorder) error {
 			return err
 		}
 	} else {
-		f, err := os.CreateTemp(tr.Dir, ".ptrace-*")
+		d := rec.Data()
+		err := atomicfile.WriteTo(path, func(w io.Writer) error {
+			var werr error
+			if tr.Format == "v2" {
+				_, werr = d.WriteV2To(w)
+			} else {
+				_, werr = d.WriteTo(w)
+			}
+			return werr
+		})
 		if err != nil {
 			return err
 		}
-		d := rec.Data()
-		var werr error
-		if tr.Format == "v2" {
-			_, werr = d.WriteV2To(f)
-		} else {
-			_, werr = d.WriteTo(f)
-		}
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr == nil {
-			werr = os.Rename(f.Name(), path)
-		}
-		if werr != nil {
-			os.Remove(f.Name())
-			return werr
+	}
+	if tr.Digest {
+		if err := tr.writeDigest(path); err != nil {
+			return err
 		}
 	}
 	tr.mu.Lock()
 	tr.files = append(tr.files, name)
 	tr.mu.Unlock()
 	return nil
+}
+
+// writeDigest re-reads the sealed trace (spilled traces never held the
+// full capture in memory, so the file is the only complete source) and
+// publishes its bounded summary beside it.
+func (tr *TraceRequest) writeDigest(tracePath string) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, _, err := ptrace.AnalyzeStream(f, 0)
+	if err != nil {
+		return err
+	}
+	digestPath := strings.TrimSuffix(tracePath, ".ptrace") + ".digest"
+	return atomicfile.WriteTo(digestPath, func(w io.Writer) error {
+		return ptrace.WriteSummary(w, s)
+	})
 }
 
 // Scalable is implemented by scenarios whose token sweep can be

@@ -27,9 +27,28 @@ package packet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/units"
 )
+
+// nextID hands out packet ids. There is exactly one counter in the
+// process: ids stamped by servers, background sources, and batched
+// fan-outs never collide, so a trace's id → packet mapping is
+// injective and ptrace.CanonicalizePacketIDs can relabel equivalent
+// captures to identical bytes. (Two counters — the historical layout
+// — aliased a server packet and a source packet whenever their
+// independent counts crossed, which made canonicalized full captures
+// compare differently from run to run.) The counter is atomic because
+// independent simulations run concurrently on the experiment runner
+// pool; ids only need to be unique and non-zero, not dense.
+var nextID atomic.Uint64
+
+// NewID returns a process-unique non-zero packet id.
+func NewID() uint64 { return nextID.Add(1) }
+
+// ResetIDs restarts the id counter (tests and experiment isolation).
+func ResetIDs() { nextID.Store(0) }
 
 // DSCP is a Differentiated Services Code Point (RFC 2474).
 type DSCP uint8

@@ -1,0 +1,53 @@
+package scenfile
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioFile holds the parser to two properties on arbitrary
+// bytes: it never panics, and any input it accepts survives a full
+// parse → compile → re-emit → parse round trip with the re-parsed
+// file equal to the first (so Marshal is a faithful canonical form
+// and compilation cannot trip over an input validation admitted).
+func FuzzScenarioFile(f *testing.F) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version": 1, "name": "x", "shape": "tandem"}`))
+	f.Add([]byte(`{]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Parse(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if _, err := parsed.Compile(); err != nil {
+			t.Fatalf("validated file failed to compile: %v", err)
+		}
+		out, err := parsed.Marshal()
+		if err != nil {
+			t.Fatalf("validated file failed to marshal: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(parsed, again) {
+			t.Fatalf("round trip diverged:\nfirst:  %+v\nsecond: %+v", parsed, again)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package scenfile
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/ptrace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDumbbellGoldenDigest pins the dumbbell scenario — the workload
+// that exists only as a config file — to a stored behavioral digest.
+// The trace config matches the dsbench defaults, so the very same
+// golden gates CI runs through `dstrace -compare-golden`. Scaled(1000)
+// thins the sweep to its endpoints; the digest pins the first
+// (tightest-contract) point.
+func TestDumbbellGoldenDigest(t *testing.T) {
+	s, err := LoadScenario("testdata/dumbbell.scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := s.(experiment.Scalable).Scaled(1000)
+	dir := t.TempDir()
+	tr := &experiment.TraceRequest{Dir: dir, Config: ptrace.Config{
+		Capacity: 1 << 17, Head: 4096, Sample: 1,
+	}, Digest: true}
+	fig := experiment.RunScenarioOpts(scaled, experiment.RunOptions{Parallel: 2, Trace: tr})
+	if len(fig.Series) == 0 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dir, "dumbbell-tok1000000.digest"))
+	if err != nil {
+		t.Fatalf("run produced no digest: %v", err)
+	}
+	golden := filepath.Join("testdata", "dumbbell.digest")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("dumbbell digest diverged from golden (rerun with -update if intended)\ngot %d bytes, want %d", len(got), len(want))
+	}
+
+	// The digest must round-trip through the gate's reader and compare
+	// clean against itself under zero thresholds.
+	gs, err := ptrace.ReadSummary(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ptrace.ReadSummary(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ptrace.CompareSummaries(ws, gs, ptrace.Thresholds{}); !d.Clean() {
+		t.Errorf("digest not clean vs golden:\n%s", d.Format(10))
+	}
+}
+
+// TestDumbbellRegisters exercises the registry entry point: the
+// dumbbell file registers under its own name, a second load of the
+// same name errors instead of panicking, and the compiled scenario
+// correctly refuses the shard knob (a graph point is one
+// unpartitioned simulator).
+func TestDumbbellRegisters(t *testing.T) {
+	s, err := LoadAndRegister("testdata/dumbbell.scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if experiment.Lookup("dumbbell") == nil {
+		t.Fatal("dumbbell not in the registry after LoadAndRegister")
+	}
+	if experiment.SupportsSharding(s) {
+		t.Error("graph scenario claims shard support")
+	}
+	if _, ok := s.(experiment.Scalable); !ok {
+		t.Error("graph scenario does not honor -scale")
+	}
+	if _, err := LoadAndRegister("testdata/dumbbell.scenario.json"); err == nil {
+		t.Fatal("duplicate registration did not error")
+	}
+}

@@ -1,0 +1,181 @@
+package scenfile
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// mutate parses a known-good testdata file, applies edit to the raw
+// JSON via string replacement, and returns the Parse error.
+func parseMutated(t *testing.T, path, old, new string) error {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, old) {
+		t.Fatalf("%s does not contain %q", path, old)
+	}
+	_, perr := Parse([]byte(strings.Replace(s, old, new, 1)))
+	return perr
+}
+
+// TestValidationNamesOffendingField pins the reject-up-front contract:
+// every schema violation is caught at parse time and the error names
+// the field that caused it.
+func TestValidationNamesOffendingField(t *testing.T) {
+	const (
+		nflow    = "testdata/nflow.scenario.json"
+		tandem   = "testdata/tandem.scenario.json"
+		dumbbell = "testdata/dumbbell.scenario.json"
+	)
+	cases := []struct {
+		name, path, old, new, want string
+	}{
+		{"unknown link reference", dumbbell,
+			`"to": "e-jit"`, `"to": "e-jitt"`,
+			`graph.elements[15].to: unknown element "e-jitt"`},
+		{"zero-rate policer", nflow,
+			`"policer": {"rate_bps": 1300000`, `"policer": {"rate_bps": 0`,
+			"multiflow.policer.rate_bps: policer rate must be positive"},
+		{"zero-rate graph policer", dumbbell,
+			`"name": "e-policer", "rate_bps": 1300000`, `"name": "e-policer", "rate_bps": 0`,
+			`graph.elements[9].rate_bps: policer "e-policer" needs a positive rate`},
+		{"unknown clip", nflow,
+			`"clip": "lost"`, `"clip": "lots"`,
+			`multiflow.clip: unknown clip "lots"`},
+		{"unknown sched", nflow,
+			`"sched": "priority"`, `"sched": "fancy"`,
+			`multiflow.sched: unknown bottleneck scheduler "fancy"`},
+		{"unknown shape", nflow,
+			`"shape": "multiflow"`, `"shape": "ring"`,
+			`shape: unknown shape "ring"`},
+		{"shape/section mismatch", nflow,
+			`"shape": "multiflow"`, `"shape": "tandem"`,
+			`multiflow: section present but shape is "tandem"`},
+		{"capability overclaim", dumbbell,
+			`"shards": false`, `"shards": true`,
+			"capabilities.shards: must be false"},
+		{"capability underclaim", nflow,
+			`"shards": true`, `"shards": false`,
+			"capabilities.shards: must be true"},
+		{"unknown field", nflow,
+			`"be_load"`, `"be_loda"`,
+			`unknown field "be_loda"`},
+		{"bad sweep step", tandem,
+			`"step_kbps": 100`, `"step_kbps": 0`,
+			"tandem.token_sweep.step_kbps: sweep step must be positive"},
+		{"poisson batch on source", dumbbell,
+			`"model": "poisson", "rate_bps": 300000, "size": 1500, "flow": 1003, "dscp": "be"`,
+			`"model": "poisson", "rate_bps": 300000, "size": 1500, "flow": 1003, "dscp": "be", "batch": 4`,
+			"graph.elements[4].source.batch: poisson sources cannot be batched"},
+		{"unknown dscp", dumbbell,
+			`"mark": "ef", "to": "w-bneck"`, `"mark": "gold", "to": "w-bneck"`,
+			`graph.elements[10].mark: unknown DSCP "gold"`},
+		{"unknown sweep target", dumbbell,
+			`"targets": ["e-policer", "w-policer"]`, `"targets": ["e-policer", "w-police"]`,
+			`graph.sweep.targets[1]: "w-police" does not name a policer element`},
+		{"unknown flow entry", dumbbell,
+			`"flow": 2, "entry": "w-campus"`, `"flow": 2, "entry": "w-campus2"`,
+			`graph.flows[1].entry: unknown element "w-campus2"`},
+		{"irrelevant knob rejected", dumbbell,
+			`"name": "e-jit", "max_jitter_us": 5000`, `"name": "e-jit", "loss_p": 0.5, "max_jitter_us": 5000`,
+			`graph.elements[13].loss_p: does not apply to kind "jitter"`},
+		{"bad version", nflow,
+			`"version": 1`, `"version": 2`,
+			"version: unsupported scenario file version 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := parseMutated(t, c.path, c.old, c.new)
+			if err == nil {
+				t.Fatal("mutation parsed cleanly")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q\ndoes not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFleetValidation covers the mixture-class rules with a minimal
+// fleet file (no fleet preset file is checked in, so build one here).
+func TestFleetValidation(t *testing.T) {
+	good := `{
+  "version": 1, "name": "fleet-x", "id": "X", "title": "t", "shape": "fleet",
+  "capabilities": {"shards": true, "bucket_width": true},
+  "fleet": {
+    "flows": [100],
+    "classes": [
+      {"name": "viewers", "clip": "lost", "enc_rate_bps": 1000000, "share": 0.85, "token_rate_bps": 1300000},
+      {"name": "elephants", "source": "cbr", "clip": "dark", "enc_rate_bps": 1500000, "share": 0.15, "token_rate_bps": 1950000}
+    ],
+    "depth_bytes": 4500, "bottleneck_rate_bps": 13000000000, "sched": "priority",
+    "be_load": 0.02, "seed": 2001, "truncate_us": 1000000, "start_window_us": 4000000
+  }
+}`
+	if _, err := Parse([]byte(good)); err != nil {
+		t.Fatalf("valid fleet rejected: %v", err)
+	}
+	cases := []struct{ name, old, new, want string }{
+		{"poisson mixture class",
+			`"source": "cbr"`, `"source": "poisson"`,
+			"fleet.classes[1].source: poisson sources cannot be batched in a mixture class"},
+		{"unknown source model",
+			`"source": "cbr"`, `"source": "onoff"`,
+			`fleet.classes[1].source: unknown source model "onoff"`},
+		{"shares must sum to 1",
+			`"share": 0.15`, `"share": 0.25`,
+			"fleet.classes: class shares must sum to 1"},
+		{"duplicate class name",
+			`"name": "elephants"`, `"name": "viewers"`,
+			`fleet.classes[1].name: duplicate class name "viewers"`},
+		{"zero token rate",
+			`"token_rate_bps": 1950000`, `"token_rate_bps": 0`,
+			"fleet.classes[1].token_rate_bps: policer rate must be positive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(strings.Replace(good, c.old, c.new, 1)))
+			if err == nil {
+				t.Fatal("mutation parsed cleanly")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q\ndoes not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFleetCompilesToPresetSpec pins the fleet shape's compilation
+// target: the file above compiles to the same spec type the Go preset
+// uses, with every field carried over.
+func TestFleetCompilesToPresetSpec(t *testing.T) {
+	f, err := Parse([]byte(`{
+  "version": 1, "name": "fleet-x", "id": "X", "title": "t", "shape": "fleet",
+  "capabilities": {"shards": true, "bucket_width": true},
+  "fleet": {
+    "flows": [100],
+    "classes": [
+      {"name": "viewers", "clip": "lost", "enc_rate_bps": 1000000, "share": 1.0, "token_rate_bps": 1300000}
+    ],
+    "depth_bytes": 4500, "bottleneck_rate_bps": 13000000000, "sched": "priority",
+    "be_load": 0.02, "seed": 2001, "truncate_us": 1000000, "start_window_us": 4000000
+  }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "fleet-x" {
+		t.Errorf("name %q", s.Name())
+	}
+	if !s.(interface{ SupportsShards() bool }).SupportsShards() {
+		t.Error("fleet spec lost shard capability")
+	}
+}

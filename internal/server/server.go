@@ -17,8 +17,6 @@
 package server
 
 import (
-	"sync/atomic"
-
 	"repro/internal/client"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -33,12 +31,11 @@ const UDPHeader = 28
 // MaxUDPPayload is the payload that fits one Ethernet MTU.
 const MaxUDPPayload = units.EthernetMTU - UDPHeader
 
-// idCounter is atomic because independent simulations run
-// concurrently on the experiment runner pool; ids only need to be
-// unique and non-zero.
-var idCounter atomic.Uint64
-
-func nextID() uint64 { return idCounter.Add(1) }
+// nextID stamps server packets from the process-wide counter shared
+// with the traffic sources (see packet.NewID): one counter means a
+// server packet and a source packet never carry the same id, which is
+// what keeps canonicalized trace captures run-order independent.
+func nextID() uint64 { return packet.NewID() }
 
 // Paced streams an encoding over UDP, sending each frame's packets
 // evenly spaced across a fraction of the frame interval — the

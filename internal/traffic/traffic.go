@@ -10,24 +10,20 @@
 package traffic
 
 import (
-	"sync/atomic"
-
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
 
-var nextPacketID atomic.Uint64
-
 // NewPacketID hands out globally unique packet ids across all sources
-// in a process; ids only need to be unique and non-zero, not dense —
-// the counter is atomic because independent simulations run
-// concurrently on the experiment runner pool.
-func NewPacketID() uint64 { return nextPacketID.Add(1) }
+// in a process — the single process-wide counter in the packet
+// package, shared with the server-side stampers so source and server
+// packets never alias in a trace.
+func NewPacketID() uint64 { return packet.NewID() }
 
 // ResetPacketIDs restarts the id counter (tests and experiment
 // isolation).
-func ResetPacketIDs() { nextPacketID.Store(0) }
+func ResetPacketIDs() { packet.ResetIDs() }
 
 // CBR emits fixed-size packets at a constant bit rate.
 type CBR struct {
